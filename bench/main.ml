@@ -1,0 +1,240 @@
+(** Benchmark harness (Bechamel).
+
+    The paper has no performance evaluation — its implementability claim
+    is qualitative ("straightforward to implement", Section 7).  These
+    benchmarks provide the quantitative characterisation a downstream
+    implementor needs (DESIGN.md §6):
+
+    - parser and matcher throughput (substrate costs);
+    - legacy vs revised SET and DELETE (the price of atomicity:
+      two-phase evaluation with conflict checking);
+    - all five proposed MERGE semantics plus legacy MERGE on the paper's
+      Example 5 import workload, scaled up (the price of the quotient);
+    - the collapsibility quotient in isolation;
+    - the paper-figure workloads (E6, E8–E10) as micro-benchmarks;
+    - an end-to-end marketplace session.
+
+    Run:  dune exec bench/main.exe
+*)
+
+open Bechamel
+open Toolkit
+open Cypher_graph
+open Cypher_ast.Ast
+open Cypher_core
+open Cypher_paper
+
+let parse_q src =
+  match Api.parse ~dialect:Cypher_ast.Validate.Permissive src with
+  | Ok q -> q
+  | Error e -> failwith (Errors.to_string e)
+
+let run_q config g q =
+  match Api.run_query ~config g q with
+  | Ok o -> o
+  | Error e -> failwith (Errors.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures shared by the benches                                     *)
+(* ------------------------------------------------------------------ *)
+
+let market100 =
+  Fixtures.marketplace_graph ~vendors:5 ~products:30 ~users:65 ~orders_per_user:3
+
+let market1000 =
+  Fixtures.marketplace_graph ~vendors:20 ~products:300 ~users:680 ~orders_per_user:3
+
+let orders100 = Fixtures.orders_table 100
+let orders1000 = Fixtures.orders_table 1000
+
+let q_read = parse_q Fixtures.query1
+let q_2hop =
+  parse_q
+    "MATCH (u:User)-[:ORDERED]->(p:Product)<-[:OFFERS]-(v:Vendor) RETURN \
+     count(*) AS n"
+let q_1hop = parse_q "MATCH (u:User)-[:ORDERED]->(p:Product) RETURN count(*) AS n"
+
+let merge_src = Fixtures.example5_merge
+
+let merge_graph mode table () =
+  Sys.opaque_identity
+    (fst (Runner.run_merge_mode Config.permissive ~mode merge_src (Graph.empty, table)))
+
+let legacy_merge table () =
+  Sys.opaque_identity
+    (fst
+       (Runner.run_merge_mode Config.cypher9 ~mode:Merge_legacy merge_src
+          (Graph.empty, table)))
+
+(* SET workload: 100 products, bump every id — legacy vs atomic *)
+let set_graph =
+  Fixtures.marketplace_graph ~vendors:2 ~products:100 ~users:2 ~orders_per_user:1
+let q_set = parse_q "MATCH (p:Product) SET p.id = p.id + 1"
+
+(* DELETE workload *)
+let q_delete = parse_q "MATCH (u:User) DETACH DELETE u"
+
+(* statements for the parser bench *)
+let src_read = Fixtures.query1
+let src_update =
+  "MATCH (u:User {id: 89}) CREATE (u)-[:ORDERED]->(p:Product {id: 1, name: \
+   'x'}) SET p.seen = true"
+let src_mixed =
+  "MATCH (a:A)-[r:T*1..3]->(b) WHERE a.x > 1 AND b.name STARTS WITH 'p' WITH \
+   a, count(*) AS n ORDER BY n DESC LIMIT 10 MERGE ALL (a)-[:SEEN]->(:Log \
+   {n: n}) RETURN a, n"
+
+(* quotient in isolation: a pre-built graph of k collapsible nodes *)
+let quotient_input k =
+  let g, new_nodes =
+    List.fold_left
+      (fun (g, acc) i ->
+        let id, g =
+          Graph.create_node ~labels:[ "N" ]
+            ~props:(Props.of_list [ ("v", Value.Int (i mod 10)) ])
+            g
+        in
+        (g, (id, (0, 0)) :: acc))
+      (Graph.empty, [])
+      (List.init k (fun i -> i))
+  in
+  (g, new_nodes)
+
+let quotient_300 = quotient_input 300
+
+let session_src =
+  "MATCH (u:User)-[:ORDERED]->(p:Product) WHERE u.id % 7 = 0 SET p.hot = \
+   true WITH u, count(*) AS n MERGE ALL (u)-[:SCORED]->(:Score {v: n}) \
+   RETURN count(*) AS total"
+
+let q_session = parse_q session_src
+
+(* ------------------------------------------------------------------ *)
+(* Test registry                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let t name f = Test.make ~name (Staged.stage f)
+
+let tests =
+  [
+    (* parse/* *)
+    t "parse/read" (fun () -> Sys.opaque_identity (parse_q src_read));
+    t "parse/update" (fun () -> Sys.opaque_identity (parse_q src_update));
+    t "parse/mixed" (fun () -> Sys.opaque_identity (parse_q src_mixed));
+    (* match/* *)
+    t "match/1hop/n=100" (fun () ->
+        Sys.opaque_identity (run_q Config.revised market100 q_1hop));
+    t "match/1hop/n=1000" (fun () ->
+        Sys.opaque_identity (run_q Config.revised market1000 q_1hop));
+    t "match/2hop/n=100" (fun () ->
+        Sys.opaque_identity (run_q Config.revised market100 q_2hop));
+    t "match/2hop/n=1000" (fun () ->
+        Sys.opaque_identity (run_q Config.revised market1000 q_2hop));
+    t "match/figure1-query1" (fun () ->
+        Sys.opaque_identity (run_q Config.revised Fixtures.figure1_graph q_read));
+    (* ablation: homomorphic matching drops the used-relationship
+       bookkeeping but enumerates more embeddings *)
+    t "match/homo/2hop/n=100" (fun () ->
+        Sys.opaque_identity
+          (run_q
+             (Config.with_match_mode Config.Homomorphic Config.revised)
+             market100 q_2hop));
+    (* create/* *)
+    t "create/100-paths" (fun () ->
+        Sys.opaque_identity
+          (run_q Config.revised Graph.empty
+             (parse_q "UNWIND range(1, 100) AS x CREATE (:A {v: x})-[:T]->(:B)")));
+    (* set/* : the price of atomicity *)
+    t "set/legacy/100" (fun () ->
+        Sys.opaque_identity (run_q Config.cypher9 set_graph q_set));
+    t "set/atomic/100" (fun () ->
+        Sys.opaque_identity (run_q Config.revised set_graph q_set));
+    (* delete/* *)
+    t "delete/legacy/detach" (fun () ->
+        Sys.opaque_identity (run_q Config.cypher9 market100 q_delete));
+    t "delete/atomic/detach" (fun () ->
+        Sys.opaque_identity (run_q Config.revised market100 q_delete));
+    (* merge/<variant> on the Example-5 import workload *)
+    t "merge/legacy/100" (legacy_merge orders100);
+    t "merge/all/100" (merge_graph Merge_all orders100);
+    t "merge/grouping/100" (merge_graph Merge_grouping orders100);
+    t "merge/weak/100" (merge_graph Merge_weak_collapse orders100);
+    t "merge/collapse/100" (merge_graph Merge_collapse orders100);
+    t "merge/same/100" (merge_graph Merge_same orders100);
+    t "merge/all/1000" (merge_graph Merge_all orders1000);
+    t "merge/same/1000" (merge_graph Merge_same orders1000);
+    (* quotient/* *)
+    t "quotient/300-nodes" (fun () ->
+        let g, new_nodes = quotient_300 in
+        Sys.opaque_identity
+          (Quotient.apply g ~new_nodes ~new_rels:[] ~node_pos_matters:false
+             ~rel_pos_matters:false));
+    (* endtoend/* *)
+    t "endtoend/session/n=100" (fun () ->
+        Sys.opaque_identity (run_q Config.revised market100 q_session));
+    (* io/* : dump and reload the 100-node marketplace *)
+    t "io/dump/n=100" (fun () ->
+        Sys.opaque_identity (Dump.to_cypher market100));
+    t "io/load/n=100"
+      (let script = Dump.to_cypher market100 in
+       fun () ->
+         Sys.opaque_identity
+           (Api.run_program ~config:Config.revised Graph.empty script));
+    (* figures/* : the paper's exact workloads *)
+    t "figures/E6-legacy-merge" (fun () ->
+        Sys.opaque_identity
+          (Runner.run_merge_mode Config.cypher9 ~mode:Merge_legacy
+             Fixtures.example3_merge
+             (Fixtures.example3_graph, Fixtures.example3_table)));
+    t "figures/E8-merge-same" (fun () ->
+        Sys.opaque_identity
+          (Runner.run_merge_mode Config.permissive ~mode:Merge_same
+             Fixtures.example5_merge
+             (Graph.empty, Fixtures.example5_table)));
+    t "figures/E9-merge-collapse" (fun () ->
+        Sys.opaque_identity
+          (Runner.run_merge_mode Config.permissive ~mode:Merge_collapse
+             Fixtures.example6_merge
+             (Graph.empty, Fixtures.example6_table)));
+    t "figures/E10-merge-same" (fun () ->
+        Sys.opaque_identity
+          (Runner.run_merge_mode Config.permissive ~mode:Merge_same
+             Fixtures.example7_merge
+             (Fixtures.example7_graph, Fixtures.example7_table)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Runner and report                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let benchmark test =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances test in
+  Analyze.all ols Instance.monotonic_clock raw
+
+let pretty_time ns =
+  if ns >= 1e9 then Printf.sprintf "%10.2f s " (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%10.2f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%10.2f us" (ns /. 1e3)
+  else Printf.sprintf "%10.2f ns" ns
+
+let () =
+  Printf.printf "%-28s %13s\n" "benchmark" "time/run";
+  Printf.printf "%s\n" (String.make 42 '-');
+  List.iter
+    (fun test ->
+      let results = benchmark test in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] ->
+              Printf.printf "%-28s %13s\n%!" name (pretty_time est)
+          | _ -> Printf.printf "%-28s %13s\n%!" name "n/a")
+        results)
+    tests

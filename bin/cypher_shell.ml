@@ -1,0 +1,236 @@
+(** An interactive shell and batch runner for the Cypher engine.
+
+    Usage:
+      cypher_shell                          # REPL, revised semantics
+      cypher_shell --semantics legacy      # Cypher 9 behaviour
+      cypher_shell -f script.cypher        # run a ;-separated script
+      cypher_shell -f setup.cypher -i      # script, then drop into REPL
+
+    REPL commands (everything else is executed as Cypher):
+      :help                 show this help
+      :quit                 exit
+      :graph                print the current graph
+      :stats                node/relationship counts
+      :clear                reset to the empty graph
+      :dot FILE             write the graph as Graphviz DOT
+      :save FILE            write the graph as a Cypher dump
+      :load FILE            run a ;-separated Cypher script
+      :begin | :commit | :rollback   transaction control
+      :semantics MODE       legacy | revised | permissive
+      :order MODE           forward | reverse | seed:N  (legacy clauses)
+*)
+
+open Cypher_graph
+open Cypher_core
+
+type state = { session : Session.t }
+
+let print_table t =
+  if Cypher_table.Table.columns t = [] then
+    Fmt.pr "(%d row(s), no columns)@." (Cypher_table.Table.row_count t)
+  else Fmt.pr "%a@.(%d row(s))@." Cypher_table.Table.pp t
+         (Cypher_table.Table.row_count t)
+
+let run_statement st src =
+  (match Session.run st.session src with
+  | Ok table -> print_table table
+  | Error e -> Fmt.epr "error: %s@." (Errors.to_string e));
+  st
+
+let run_script st src =
+  match Cypher_parser.Parser.parse_program src with
+  | Error e ->
+      Fmt.epr "error: %s@." (Cypher_parser.Parser.error_to_string e);
+      st
+  | Ok queries ->
+      List.iter
+        (fun q ->
+          match Session.run_query st.session q with
+          | Ok table -> print_table table
+          | Error e -> Fmt.epr "error: %s@." (Errors.to_string e))
+        queries;
+      st
+
+let load_file st path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | src -> run_script st src
+  | exception Sys_error m ->
+      Fmt.epr "error: %s@." m;
+      st
+
+let semantics_of_string = function
+  | "legacy" -> Some Config.cypher9
+  | "revised" -> Some Config.revised
+  | "permissive" -> Some Config.permissive
+  | _ -> None
+
+let order_of_string s =
+  match s with
+  | "forward" -> Some Config.Forward
+  | "reverse" -> Some Config.Reverse
+  | _ ->
+      if String.length s > 5 && String.sub s 0 5 = "seed:" then
+        Option.map
+          (fun n -> Config.Seeded n)
+          (int_of_string_opt (String.sub s 5 (String.length s - 5)))
+      else None
+
+let help_text =
+  ":help :quit :graph :stats :clear :dot FILE :save FILE :load FILE \
+   :begin :commit :rollback :semantics legacy|revised|permissive :order \
+   forward|reverse|seed:N"
+
+let handle_command st line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ ":help" ] ->
+      print_endline help_text;
+      Some st
+  | [ ":quit" ] | [ ":q" ] -> None
+  | [ ":graph" ] ->
+      Fmt.pr "%a@." Graph.pp (Session.graph st.session);
+      Some st
+  | [ ":stats" ] ->
+      let g = Session.graph st.session in
+      Fmt.pr "%d node(s), %d relationship(s)%s%s@." (Graph.node_count g)
+        (Graph.rel_count g)
+        (if Graph.is_wellformed g then ""
+         else " — WARNING: dangling relationships present")
+        (if Session.in_transaction st.session then
+           Printf.sprintf " — in transaction (depth %d)"
+             (Session.depth st.session)
+         else "");
+      List.iter
+        (fun (l, n) -> Fmt.pr "  :%s %d@." l n)
+        (Graph.label_histogram g);
+      List.iter
+        (fun (ty, n) -> Fmt.pr "  -[:%s]- %d@." ty n)
+        (Graph.type_histogram g);
+      Some st
+  | [ ":clear" ] ->
+      Session.reset st.session;
+      print_endline "graph cleared";
+      Some st
+  | [ ":dot"; file ] ->
+      Out_channel.with_open_text file (fun oc ->
+          Out_channel.output_string oc (Dot.to_dot (Session.graph st.session)));
+      Fmt.pr "wrote %s@." file;
+      Some st
+  | [ ":save"; file ] ->
+      Out_channel.with_open_text file (fun oc ->
+          Out_channel.output_string oc (Dump.to_cypher (Session.graph st.session)));
+      Fmt.pr "wrote %s@." file;
+      Some st
+  | [ ":load"; file ] -> Some (load_file st file)
+  | [ ":begin" ] ->
+      Session.begin_tx st.session;
+      Fmt.pr "transaction started (depth %d)@." (Session.depth st.session);
+      Some st
+  | [ ":commit" ] ->
+      (match Session.commit st.session with
+      | Ok () -> print_endline "committed"
+      | Error m -> Fmt.epr "error: %s@." m);
+      Some st
+  | [ ":rollback" ] ->
+      (match Session.rollback st.session with
+      | Ok () -> print_endline "rolled back"
+      | Error m -> Fmt.epr "error: %s@." m);
+      Some st
+  | [ ":semantics"; mode ] -> (
+      match semantics_of_string mode with
+      | Some config ->
+          Fmt.pr "semantics: %s@." mode;
+          Session.set_config st.session
+            { config with Config.order = (Session.config st.session).Config.order };
+          Some st
+      | None ->
+          Fmt.epr "unknown semantics %S (legacy | revised | permissive)@." mode;
+          Some st)
+  | [ ":order"; mode ] -> (
+      match order_of_string mode with
+      | Some order ->
+          Session.set_config st.session
+            (Config.with_order order (Session.config st.session));
+          Some st
+      | None ->
+          Fmt.epr "unknown order %S (forward | reverse | seed:N)@." mode;
+          Some st)
+  | _ ->
+      Fmt.epr "unknown command; %s@." help_text;
+      Some st
+
+let repl st =
+  let buf = Buffer.create 256 in
+  let rec loop st =
+    if Buffer.length buf = 0 then print_string "cypher> "
+    else print_string "   ...> ";
+    flush stdout;
+    match In_channel.input_line stdin with
+    | None -> ()
+    | Some line ->
+        let trimmed = String.trim line in
+        if Buffer.length buf = 0 && String.length trimmed > 0
+           && trimmed.[0] = ':'
+        then
+          match handle_command st trimmed with
+          | Some st -> loop st
+          | None -> ()
+        else begin
+          Buffer.add_string buf line;
+          Buffer.add_char buf '\n';
+          if String.length trimmed > 0
+             && trimmed.[String.length trimmed - 1] = ';'
+          then begin
+            let src = Buffer.contents buf in
+            Buffer.clear buf;
+            loop (run_statement st src)
+          end
+          else loop st
+        end
+  in
+  print_endline "Cypher shell — :help for commands, statements end with ';'";
+  loop st
+
+(* ------------------------------------------------------------------ *)
+(* Command line                                                       *)
+(* ------------------------------------------------------------------ *)
+
+open Cmdliner
+
+let semantics_arg =
+  let doc = "Update semantics: $(b,legacy) (Cypher 9), $(b,revised) (the paper's proposal) or $(b,permissive)." in
+  Arg.(value & opt string "revised" & info [ "semantics"; "s" ] ~docv:"MODE" ~doc)
+
+let order_arg =
+  let doc = "Record order for legacy clauses: $(b,forward), $(b,reverse) or $(b,seed:N)." in
+  Arg.(value & opt string "forward" & info [ "order" ] ~docv:"ORDER" ~doc)
+
+let file_arg =
+  let doc = "Run the ;-separated Cypher statements in $(docv) before anything else." in
+  Arg.(value & opt (some string) None & info [ "f"; "file" ] ~docv:"FILE" ~doc)
+
+let interactive_arg =
+  let doc = "Drop into the REPL after running $(b,--file)." in
+  Arg.(value & flag & info [ "i"; "interactive" ] ~doc)
+
+let main semantics order file interactive =
+  match (semantics_of_string semantics, order_of_string order) with
+  | None, _ ->
+      Fmt.epr "unknown semantics %S@." semantics;
+      1
+  | _, None ->
+      Fmt.epr "unknown order %S@." order;
+      1
+  | Some config, Some ord ->
+      let st =
+        { session = Session.create ~config:(Config.with_order ord config) Graph.empty }
+      in
+      let st = match file with None -> st | Some f -> load_file st f in
+      if file = None || interactive then repl st;
+      0
+
+let cmd =
+  let doc = "Interactive shell for the Cypher update-semantics engine" in
+  let info = Cmd.info "cypher_shell" ~doc in
+  Cmd.v info Term.(const main $ semantics_arg $ order_arg $ file_arg $ interactive_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,11 @@
+(** Reruns every paper experiment (E1–E10) and prints a PASS/FAIL report;
+    the source of EXPERIMENTS.md. *)
+
+let () =
+  let reports = Cypher_paper.Experiments.all () in
+  List.iter (fun r -> Fmt.pr "%a@." Cypher_paper.Experiments.pp_report r) reports;
+  let failed = List.filter (fun r -> not r.Cypher_paper.Experiments.passed) reports in
+  Fmt.pr "== %d/%d experiments reproduce the paper ==@."
+    (List.length reports - List.length failed)
+    (List.length reports);
+  if failed <> [] then exit 1

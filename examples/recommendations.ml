@@ -1,0 +1,84 @@
+(** Recommendations: a larger marketplace session.
+
+    Generates a synthetic Figure-1-style marketplace (the paper's
+    running domain), then runs an analytics-and-update session on it:
+    co-purchase recommendations via 2-hop matching and aggregation, a
+    denormalisation step with MERGE SAME, and a dump of the enriched
+    graph.
+
+      dune exec examples/recommendations.exe
+*)
+
+open Cypher_graph
+open Cypher_core
+open Cypher_paper
+
+let banner title = Fmt.pr "@.=== %s ===@." title
+
+let run session src =
+  Fmt.pr "@.> %s@." src;
+  match Session.run session src with
+  | Ok t ->
+      Fmt.pr "%a@." Cypher_table.Table.pp t;
+      t
+  | Error e -> failwith (Errors.to_string e)
+
+let () =
+  let g =
+    Fixtures.marketplace_graph ~vendors:4 ~products:12 ~users:20
+      ~orders_per_user:3
+  in
+  banner "Generated marketplace";
+  Fmt.pr "%d nodes, %d relationships@." (Graph.node_count g) (Graph.rel_count g);
+
+  let session = Session.create ~config:Config.revised g in
+
+  banner "Top products by orders";
+  ignore
+    (run session
+       "MATCH (u:User)-[:ORDERED]->(p:Product)\n\
+        RETURN p.name AS product, count(*) AS orders\n\
+        ORDER BY orders DESC, product LIMIT 5");
+
+  banner "Co-purchase recommendations (2-hop)";
+  ignore
+    (run session
+       "MATCH (me:User)-[:ORDERED]->(p:Product)<-[:ORDERED]-(peer:User),\n\
+       \      (peer)-[:ORDERED]->(rec:Product)\n\
+        WHERE me.name = 'user0' AND NOT rec.name = p.name\n\
+        RETURN rec.name AS recommendation, count(DISTINCT peer) AS peers\n\
+        ORDER BY peers DESC, recommendation LIMIT 3");
+
+  banner "Denormalise: materialise RECOMMENDED edges with MERGE SAME";
+  ignore
+    (run session
+       "MATCH (me:User)-[:ORDERED]->(p:Product)<-[:ORDERED]-(peer:User),\n\
+       \      (peer)-[:ORDERED]->(rec:Product)\n\
+        WHERE NOT rec.name = p.name\n\
+        MERGE SAME (me)-[:RECOMMENDED]->(rec)\n\
+        RETURN count(*) AS pairs");
+  ignore
+    (run session
+       "MATCH (:User)-[r:RECOMMENDED]->(:Product) RETURN count(r) AS edges");
+
+  banner "Transactional what-if: drop a vendor, inspect, roll back";
+  Session.begin_tx session;
+  ignore
+    (run session
+       "MATCH (v:Vendor {name: 'vendor0'}) DETACH DELETE v RETURN count(*) AS dropped");
+  ignore
+    (run session
+       "MATCH (p:Product) WHERE NOT exists((:Vendor)-[:OFFERS]->(p))\n\
+        RETURN count(p) AS unoffered_products");
+  (match Session.rollback session with
+  | Ok () -> Fmt.pr "rolled back@."
+  | Error m -> failwith m);
+  ignore
+    (run session "MATCH (v:Vendor) RETURN count(v) AS vendors");
+
+  banner "Dump (first lines)";
+  let dump = Dump.to_cypher (Session.graph session) in
+  String.split_on_char '\n' dump
+  |> Cypher_util.Listx.take 6
+  |> List.iter print_endline;
+  Fmt.pr "... (%d characters total)@." (String.length dump)

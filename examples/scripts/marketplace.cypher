@@ -1,0 +1,26 @@
+// The Figure 1 marketplace, as a shell script:
+//   dune exec bin/cypher_shell.exe -- -f examples/scripts/marketplace.cypher -i
+CREATE (v1:Vendor {id: 60, name: 'cStore'}),
+       (p1:Product {id: 125, name: 'laptop'}),
+       (p2:Product {id: 125, name: 'notebook'}),
+       (p3:Product {id: 85, name: 'tablet'}),
+       (u1:User {id: 89, name: 'Bob'}),
+       (u2:User {id: 99, name: 'Jane'}),
+       (v1)-[:OFFERS]->(p1), (v1)-[:OFFERS]->(p2),
+       (u1)-[:ORDERED]->(p1), (u2)-[:ORDERED]->(p2),
+       (u2)-[:ORDERED]->(p3);
+
+// Query (1): vendors offering a laptop and a second product
+MATCH (p:Product)<-[:OFFERS]-(v:Vendor)-[:OFFERS]->(q:Product)
+WHERE p.name = 'laptop'
+RETURN v.name;
+
+// Query (5), revised: give every product a vendor
+MATCH (p:Product)
+MERGE SAME (p)<-[:OFFERS]-(v:Vendor)
+RETURN p.name, id(v) AS vendor;
+
+// orders per user
+MATCH (u:User)-[:ORDERED]->(p)
+RETURN u.name AS user, count(*) AS orders, collect(p.name) AS items
+ORDER BY orders DESC;

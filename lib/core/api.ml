@@ -1,0 +1,72 @@
+(** Public entry points: parse, validate and execute Cypher statements.
+
+    This is the facade a downstream user programs against; everything
+    else in [cypher_core] is reachable for fine-grained use (e.g. the
+    experiment harness drives {!Merge} directly to compare proposal
+    variants on explicit driving tables). *)
+
+open Cypher_graph
+open Cypher_table
+module Parser = Cypher_parser.Parser
+module Validate = Cypher_ast.Validate
+
+type outcome = { graph : Graph.t; table : Table.t }
+
+let wrap_errors f =
+  try Ok (f ()) with
+  | Errors.Error e -> Error e
+  | Cypher_eval.Ctx.Error m -> Error (Errors.Eval_error m)
+  | Invalid_argument m -> Error (Errors.Eval_error m)
+
+(** [parse ~dialect src] parses and validates one statement. *)
+let parse ?(dialect = Validate.Revised) src =
+  match Parser.parse_string src with
+  | Error e -> Error (Errors.Parse_error (Parser.error_to_string e))
+  | Ok q -> (
+      match Validate.validate dialect q with
+      | Error m -> Error (Errors.Validation_error m)
+      | Ok q -> Ok q)
+
+(** [run_query ~config graph q] validates [q] against the configured
+    dialect and executes it, returning the updated graph and the output
+    table. *)
+let run_query ?(config = Config.revised) graph (q : Cypher_ast.Ast.query) :
+    (outcome, Errors.t) result =
+  match Validate.validate config.Config.dialect q with
+  | Error m -> Error (Errors.Validation_error m)
+  | Ok q ->
+      wrap_errors (fun () ->
+          let graph, table = Engine.output config graph q in
+          { graph; table })
+
+(** [run_string ~config graph src] parses, validates and executes one
+    statement. *)
+let run_string ?(config = Config.revised) graph src =
+  match parse ~dialect:config.Config.dialect src with
+  | Error e -> Error e
+  | Ok q -> run_query ~config graph q
+
+(** [run_program ~config graph src] executes a [;]-separated sequence of
+    statements, threading the graph; returns the final graph and the
+    output table of every statement.  Execution stops at the first
+    error. *)
+let run_program ?(config = Config.revised) graph src :
+    (Graph.t * Table.t list, Errors.t) result =
+  match Parser.parse_program src with
+  | Error e -> Error (Errors.Parse_error (Parser.error_to_string e))
+  | Ok queries ->
+      let rec loop graph acc = function
+        | [] -> Ok (graph, List.rev acc)
+        | q :: rest -> (
+            match run_query ~config graph q with
+            | Error e -> Error e
+            | Ok { graph; table } -> loop graph (table :: acc) rest)
+      in
+      loop graph [] queries
+
+(** Convenience: [run_exn] for tests and examples that treat errors as
+    fatal. *)
+let run_exn ?config graph src =
+  match run_string ?config graph src with
+  | Ok outcome -> outcome
+  | Error e -> failwith (Errors.to_string e)

@@ -1,0 +1,42 @@
+(** Public entry points: parse, validate and execute Cypher statements.
+
+    This is the facade a downstream user programs against; the rest of
+    [cypher_core] remains reachable for fine-grained use (e.g. the
+    experiment harness drives {!Merge} directly to compare proposal
+    variants on explicit driving tables). *)
+
+open Cypher_graph
+open Cypher_table
+
+type outcome = { graph : Graph.t; table : Table.t }
+
+(** [parse ~dialect src] parses and validates one statement.  The
+    dialect defaults to the revised grammar (Figure 10). *)
+val parse :
+  ?dialect:Cypher_ast.Validate.dialect ->
+  string ->
+  (Cypher_ast.Ast.query, Errors.t) result
+
+(** [run_query ~config graph q] validates [q] against the configured
+    dialect and executes it, returning the updated graph and the output
+    table.  The configuration defaults to {!Config.revised}. *)
+val run_query :
+  ?config:Config.t -> Graph.t -> Cypher_ast.Ast.query ->
+  (outcome, Errors.t) result
+
+(** [run_string ~config graph src] parses, validates and executes one
+    statement. *)
+val run_string :
+  ?config:Config.t -> Graph.t -> string -> (outcome, Errors.t) result
+
+(** [run_program ~config graph src] executes a [;]-separated sequence of
+    statements, threading the graph; returns the final graph and the
+    output table of every statement.  Execution stops at the first
+    error. *)
+val run_program :
+  ?config:Config.t -> Graph.t -> string ->
+  (Graph.t * Table.t list, Errors.t) result
+
+(** Convenience for tests and examples that treat errors as fatal.
+    @raise Failure on any error. *)
+val run_exn : ?config:Config.t -> Graph.t -> string -> outcome

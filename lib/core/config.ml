@@ -1,0 +1,64 @@
+(** Execution configuration: which update semantics to run, in which
+    driving-table order legacy clauses process records, which dialect to
+    validate against, and the query parameters. *)
+
+open Cypher_util.Maps
+open Cypher_graph
+
+(** Update semantics regime for SET / DELETE / FOREACH and for plain
+    MERGE.  [Legacy] is Cypher 9's per-record behaviour (Section 3–4);
+    [Atomic] is the revised behaviour of Section 7. *)
+type mode = Legacy | Atomic
+
+(** Record-processing order used by [Legacy] clauses.  Cypher tables are
+    unordered, so a correct semantics must not depend on this — the
+    legacy one does (Example 3), which this knob makes observable. *)
+type order = Forward | Reverse | Seeded of int
+
+(** Pattern-matching regime.  [Isomorphic] is Cypher's: distinct
+    relationship patterns bind distinct relationships (Section 2).
+    [Homomorphic] lifts that restriction — the extension the paper
+    announces for later Cypher versions (Section 6, Example 7), under
+    which Strong Collapse is "a very natural choice".  Variable-length
+    steps remain edge-distinct within their own walk so that outputs
+    stay finite. *)
+type match_mode = Isomorphic | Homomorphic
+
+type t = {
+  mode : mode;
+  order : order;
+  match_mode : match_mode;
+  dialect : Cypher_ast.Validate.dialect;
+  params : Value.t Smap.t;
+}
+
+(** Cypher 9 as shipped: legacy update semantics, Figure 2–5 grammar. *)
+let cypher9 =
+  { mode = Legacy; order = Forward; match_mode = Isomorphic;
+    dialect = Cypher_ast.Validate.Cypher9; params = Smap.empty }
+
+(** The paper's revised language: atomic semantics, Figure 10 grammar. *)
+let revised =
+  { mode = Atomic; order = Forward; match_mode = Isomorphic;
+    dialect = Cypher_ast.Validate.Revised; params = Smap.empty }
+
+(** Everything the parser accepts, atomic semantics: used to experiment
+    with the Section 6 proposal variants (MERGE GROUPING / WEAK /
+    COLLAPSE). *)
+let permissive =
+  { mode = Atomic; order = Forward; match_mode = Isomorphic;
+    dialect = Cypher_ast.Validate.Permissive; params = Smap.empty }
+
+let with_order order t = { t with order }
+let with_match_mode match_mode t = { t with match_mode }
+let with_params params t = { t with params }
+
+let with_param name v t = { t with params = Smap.add name v t.params }
+
+(** [arrange_rows config rows] applies the configured record order;
+    identity under [Forward]. *)
+let arrange_rows config rows =
+  match config.order with
+  | Forward -> rows
+  | Reverse -> List.rev rows
+  | Seeded seed -> Cypher_util.Listx.permutation_of_seed seed rows

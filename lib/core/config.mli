@@ -1,0 +1,51 @@
+(** Execution configuration: which update semantics to run, in which
+    driving-table order legacy clauses process records, which pattern
+    matching regime to use, which dialect to validate against, and the
+    query parameters. *)
+
+open Cypher_util.Maps
+open Cypher_graph
+
+(** Update semantics regime for SET / DELETE / FOREACH and for plain
+    MERGE.  [Legacy] is Cypher 9's per-record behaviour (Sections 3–4);
+    [Atomic] is the revised behaviour of Section 7. *)
+type mode = Legacy | Atomic
+
+(** Record-processing order used by [Legacy] clauses.  Cypher tables are
+    unordered, so a correct semantics must not depend on this — the
+    legacy one does (Example 3), which this knob makes observable. *)
+type order = Forward | Reverse | Seeded of int
+
+(** Pattern-matching regime.  [Isomorphic] is Cypher's: distinct
+    relationship patterns bind distinct relationships (Section 2).
+    [Homomorphic] lifts that restriction — the extension the paper
+    announces for later Cypher versions (Section 6, Example 7). *)
+type match_mode = Isomorphic | Homomorphic
+
+type t = {
+  mode : mode;
+  order : order;
+  match_mode : match_mode;
+  dialect : Cypher_ast.Validate.dialect;
+  params : Value.t Smap.t;
+}
+
+(** Cypher 9 as shipped: legacy update semantics, Figure 2–5 grammar. *)
+val cypher9 : t
+
+(** The paper's revised language: atomic semantics, Figure 10 grammar. *)
+val revised : t
+
+(** Everything the parser accepts, atomic semantics: used to experiment
+    with the Section 6 proposal variants (MERGE GROUPING / WEAK /
+    COLLAPSE). *)
+val permissive : t
+
+val with_order : order -> t -> t
+val with_match_mode : match_mode -> t -> t
+val with_params : Value.t Smap.t -> t -> t
+val with_param : string -> Value.t -> t -> t
+
+(** [arrange_rows config rows] applies the configured record order;
+    identity under [Forward]. *)
+val arrange_rows : t -> 'a list -> 'a list

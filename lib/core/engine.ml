@@ -1,0 +1,145 @@
+(** The clause-by-clause execution engine.
+
+    Implements the semantics framework of Section 8.1: a clause denotes a
+    function on graph–table pairs, [[C S]](G,T) = [[S]]([[C]](G,T)), and a
+    statement's output is [[Q]](G, T()) where T() is the unit table.
+    Reading clauses leave the graph untouched; update clauses dispatch on
+    the configured regime (legacy vs revised). *)
+
+open Cypher_graph
+open Cypher_table
+open Cypher_ast.Ast
+module Ctx = Cypher_eval.Ctx
+module Eval = Cypher_eval.Eval
+module Matcher = Cypher_matcher.Matcher
+
+let ctx_of config graph row = Runtime.ctx config graph row
+
+(* ------------------------------------------------------------------ *)
+(* Reading clauses                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let exec_match config (g, t) ~optional ~patterns ~where =
+  let vars = List.concat_map pattern_vars patterns in
+  let columns = Table.columns t @ vars in
+  let expand row =
+    let matches = Matcher.match_patterns ~mode:(Runtime.match_mode_of config) (ctx_of config g row) patterns in
+    let matches =
+      match where with
+      | None -> matches
+      | Some cond ->
+          List.filter
+            (fun row' ->
+              Tri.to_bool_where (Eval.eval_truth (ctx_of config g row') cond))
+            matches
+    in
+    if matches = [] && optional then
+      (* pad the pattern variables with nulls *)
+      [ List.fold_left
+          (fun r v -> if Record.mem r v then r else Record.bind r v Value.Null)
+          row vars ]
+    else matches
+  in
+  (g, Table.concat_map columns expand t)
+
+let exec_unwind config (g, t) ~source ~alias =
+  let columns = Table.columns t @ [ alias ] in
+  let expand row =
+    match Eval.eval (ctx_of config g row) source with
+    | Value.Null -> []
+    | Value.List l -> List.map (fun v -> Record.bind row alias v) l
+    | v -> [ Record.bind row alias v ]
+  in
+  (g, Table.concat_map columns expand t)
+
+(* ------------------------------------------------------------------ *)
+(* Clause dispatch                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rec exec_clause config (g, t) (c : clause) =
+  match c with
+  | Match { optional; patterns; where } ->
+      exec_match config (g, t) ~optional ~patterns ~where
+  | Unwind { source; alias } -> exec_unwind config (g, t) ~source ~alias
+  | With proj | Return proj -> Projection.run config (g, t) proj
+  | Create patterns -> Create.run config (g, t) patterns
+  | Set items -> Set_clause.run config (g, t) items
+  | Remove items -> Remove_clause.run config (g, t) items
+  | Delete { detach; targets } -> Delete_clause.run config (g, t) ~detach targets
+  | Merge { mode; patterns; on_create; on_match } ->
+      Merge.run config (g, t) ~mode ~patterns ~on_create ~on_match
+  | Foreach { fe_var; fe_source; fe_body } ->
+      exec_foreach config (g, t) ~fe_var ~fe_source ~fe_body
+
+(** FOREACH: for each record and each element of the list, the body
+    update clauses run on a one-record table binding the loop variable.
+    The driving table itself is unchanged (the loop variable does not
+    leak).  The body clauses follow the configured regime. *)
+and exec_foreach config (g, t) ~fe_var ~fe_source ~fe_body =
+  let g =
+    Table.fold
+      (fun row g ->
+        match Eval.eval (ctx_of config g row) fe_source with
+        | Value.Null -> g
+        | Value.List l ->
+            List.fold_left
+              (fun g v ->
+                let inner_row = Record.bind row fe_var v in
+                let inner =
+                  Table.make
+                    (Table.columns t @ [ fe_var ])
+                    [ inner_row ]
+                in
+                let g, _ =
+                  List.fold_left
+                    (fun (g, t) c -> exec_clause config (g, t) c)
+                    (g, inner) fe_body
+                in
+                g)
+              g l
+        | v ->
+            Errors.eval_error "FOREACH requires a list, got %s"
+              (Value.to_string v))
+      t g
+  in
+  (g, t)
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Executes a query on a graph–table pair.  UNION branches run
+    left-to-right, each on the unit table against the graph produced by
+    the previous branch; their output tables are combined by bag union
+    (UNION ALL) or set union (UNION), as in Section 8.2. *)
+let rec exec_query config (g, t) (q : query) =
+  let g, t1 = List.fold_left (exec_clause config) (g, t) q.clauses in
+  match q.union with
+  | None -> (g, t1)
+  | Some (all, q') ->
+      let g, t2 = exec_query config (g, Table.unit) q' in
+      if Table.columns t1 <> Table.columns t2 then
+        Errors.eval_error
+          "UNION branches must produce the same columns (%s vs %s)"
+          (String.concat ", " (Table.columns t1))
+          (String.concat ", " (Table.columns t2))
+      else if all then (g, Table.bag_union t1 t2)
+      else (g, Table.union t1 t2)
+
+(** [output config g q] is output(Q, G) of Section 8.1: runs the whole
+    statement on the unit table.  Under the legacy regime, graph validity
+    is only checked here, at the statement boundary — mirroring Neo4j's
+    commit-time dangling check (Section 4.2). *)
+let output config g (q : query) =
+  let g', t' = exec_query config (g, Table.unit) q in
+  (match config.Config.mode with
+  | Config.Legacy ->
+      let dangling = Graph.dangling_rels g' in
+      if dangling <> [] then
+        Errors.fail
+          (Errors.Statement_dangling
+             (List.map (fun (r : Graph.rel) -> r.Graph.r_id) dangling))
+  | Config.Atomic ->
+      (* the revised semantics cannot produce dangling relationships *)
+      assert (Graph.is_wellformed g'));
+  (g', t')

@@ -1,0 +1,27 @@
+(** The clause-by-clause execution engine.
+
+    Implements the semantics framework of Section 8.1: a clause denotes
+    a function on graph–table pairs, [[C S]](G,T) = [[S]]([[C]](G,T)),
+    and a statement's output is [[Q]](G, T()) where T() is the unit
+    table. *)
+
+open Cypher_graph
+open Cypher_table
+
+(** [exec_clause config (g, t) c] is [[c]](g, t).
+    @raise Errors.Error / Cypher_eval.Ctx.Error on failure. *)
+val exec_clause :
+  Config.t -> Graph.t * Table.t -> Cypher_ast.Ast.clause -> Graph.t * Table.t
+
+(** Executes a query on a graph–table pair.  UNION branches run
+    left-to-right, each on the unit table against the graph produced by
+    the previous branch; their output tables are combined by bag union
+    (UNION ALL) or set union (UNION), as in Section 8.2. *)
+val exec_query :
+  Config.t -> Graph.t * Table.t -> Cypher_ast.Ast.query -> Graph.t * Table.t
+
+(** [output config g q] is output(Q, G) of Section 8.1: runs the whole
+    statement on the unit table.  Under the legacy regime, graph
+    validity is only checked here, at the statement boundary — mirroring
+    Neo4j's commit-time dangling check (Section 4.2). *)
+val output : Config.t -> Graph.t -> Cypher_ast.Ast.query -> Graph.t * Table.t

@@ -1,0 +1,61 @@
+(** Typed errors surfaced by query execution.
+
+    The revised semantics of Section 7 turns several silent legacy
+    behaviours into errors: conflicting atomic [SET] assignments
+    (Example 2) and deletions that would leave dangling relationships.
+    These get dedicated constructors so callers (tests, the REPL, the
+    experiment harness) can pattern-match on them. *)
+
+open Cypher_graph
+
+type t =
+  | Parse_error of string
+  | Validation_error of string
+  | Eval_error of string
+      (** type errors, unknown variables, bad function calls, … *)
+  | Set_conflict of {
+      entity : Value.t;
+      key : string;
+      value1 : Value.t;
+      value2 : Value.t;
+    }
+      (** atomic SET collected two different values for the same
+          property of the same entity (Example 2) *)
+  | Delete_dangling of { node : int; rels : int list }
+      (** atomic DELETE would leave relationships without an endpoint *)
+  | Statement_dangling of int list
+      (** legacy semantics: dangling relationships remained at the end
+          of the statement (Neo4j's commit-time check, Section 4.2) *)
+  | Update_error of string
+      (** malformed update: recreating a bound variable, merging on a
+          null binding, … *)
+
+exception Error of t
+
+let fail e = raise (Error e)
+let eval_error fmt = Format.kasprintf (fun m -> fail (Eval_error m)) fmt
+let update_error fmt = Format.kasprintf (fun m -> fail (Update_error m)) fmt
+
+let to_string = function
+  | Parse_error m -> "parse error: " ^ m
+  | Validation_error m -> "validation error: " ^ m
+  | Eval_error m -> "evaluation error: " ^ m
+  | Set_conflict { entity; key; value1; value2 } ->
+      Fmt.str
+        "SET conflict: property %s of %a would be set to both %a and %a"
+        key Value.pp entity Value.pp value1 Value.pp value2
+  | Delete_dangling { node; rels } ->
+      Fmt.str
+        "cannot delete node %d: relationships [%a] would be left dangling \
+         (delete them in the same clause or use DETACH DELETE)"
+        node
+        Fmt.(list ~sep:(any ", ") int)
+        rels
+  | Statement_dangling rels ->
+      Fmt.str
+        "statement left dangling relationships [%a] in the graph"
+        Fmt.(list ~sep:(any ", ") int)
+        rels
+  | Update_error m -> "update error: " ^ m
+
+let pp ppf e = Fmt.string ppf (to_string e)

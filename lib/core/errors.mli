@@ -1,0 +1,42 @@
+(** Typed errors surfaced by query execution.
+
+    The revised semantics of Section 7 turns several silent legacy
+    behaviours into errors: conflicting atomic [SET] assignments
+    (Example 2) and deletions that would leave dangling relationships.
+    These get dedicated constructors so callers (tests, the REPL, the
+    experiment harness) can pattern-match on them. *)
+
+open Cypher_graph
+
+type t =
+  | Parse_error of string
+  | Validation_error of string
+  | Eval_error of string
+      (** type errors, unknown variables, bad function calls, … *)
+  | Set_conflict of {
+      entity : Value.t;
+      key : string;
+      value1 : Value.t;
+      value2 : Value.t;
+    }
+      (** atomic SET collected two different values for the same
+          property of the same entity (Example 2); [key = "*"] denotes a
+          whole-map replacement conflict *)
+  | Delete_dangling of { node : int; rels : int list }
+      (** atomic DELETE would leave relationships without an endpoint *)
+  | Statement_dangling of int list
+      (** legacy semantics: dangling relationships remained at the end
+          of the statement (Neo4j's commit-time check, Section 4.2) *)
+  | Update_error of string
+      (** malformed update: recreating a bound variable, merging on a
+          null binding, … *)
+
+exception Error of t
+
+(** [fail e] raises {!Error}. *)
+val fail : t -> 'a
+
+val eval_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+val update_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,40 @@
+(** Semantics of MERGE — legacy and all five proposed replacements.
+
+    Legacy (Cypher 9, Section 4.3): records are processed one at a time;
+    each record first tries to match the pattern in the *current* graph
+    (including what earlier records created) and creates an instance on
+    failure.  Reading its own writes makes the clause order-dependent
+    and hence nondeterministic (Example 3 / Figure 6).
+
+    Revised (Sections 6–8): the driving table is split against the
+    *input* graph into Tmatch (records with at least one embedding,
+    extended with every embedding, as in MATCH) and Tfail; instances are
+    created for Tfail; the result table is Tmatch ⊎ Tcreate.
+
+    - [Merge_all] (Atomic): one fresh instance per failing record.
+    - [Merge_grouping]: one instance per group of failing records with
+      equal values for every expression appearing in the pattern.
+    - [Merge_weak_collapse]: ALL + the quotient with both position
+      restrictions.
+    - [Merge_collapse]: quotient with cross-position node collapsing.
+    - [Merge_same] (Strong Collapse): quotient with cross-position node
+      and relationship collapsing (Definitions 1 and 2 verbatim).
+
+    ON CREATE SET / ON MATCH SET run per matched/created row (legacy) or
+    as one atomic SET over the created/matched sub-table (revised), with
+    conflict detection after the quotient. *)
+
+open Cypher_graph
+open Cypher_table
+open Cypher_ast.Ast
+
+(** [run config (g, t) ~mode ~patterns ~on_create ~on_match] executes
+    one MERGE clause under the semantics selected by [mode]. *)
+val run :
+  Config.t ->
+  Graph.t * Table.t ->
+  mode:merge_mode ->
+  patterns:pattern list ->
+  on_create:set_item list ->
+  on_match:set_item list ->
+  Graph.t * Table.t

@@ -1,0 +1,174 @@
+(** Semantics of RETURN and WITH: projection, aliasing, aggregation with
+    implicit grouping, DISTINCT, ORDER BY, SKIP and LIMIT, and the
+    WITH ... WHERE filter. *)
+
+open Cypher_graph
+open Cypher_table
+open Cypher_ast.Ast
+module Ctx = Cypher_eval.Ctx
+module Eval = Cypher_eval.Eval
+module Pretty = Cypher_ast.Pretty
+
+(** Output column name of a projection item: the alias, the variable
+    name, or the printed expression. *)
+let item_name (it : proj_item) =
+  match it.item_alias with
+  | Some a -> a
+  | None -> (
+      match it.item_expr with
+      | Var v -> v
+      | Prop (Var v, k) -> v ^ "." ^ k
+      | e -> Pretty.expr_to_string e)
+
+(** Expands [*] to one item per input column (sorted), then appends the
+    explicit items. *)
+let effective_items (t : Table.t) (proj : projection) : proj_item list =
+  let star_items =
+    if proj.proj_star then
+      List.map
+        (fun c -> { item_expr = Var c; item_alias = Some c })
+        (Table.columns t)
+    else []
+  in
+  star_items @ proj.proj_items
+
+(** One evaluated output row, with enough context kept around to
+    evaluate ORDER BY expressions (which may mention input variables and
+    aggregates). *)
+type out_row = {
+  projected : Record.t;
+  source : Record.t;  (** representative input record *)
+  group : Record.t list option;  (** aggregation group, when grouping *)
+}
+
+let eval_sort_key config g (r : out_row) e =
+  let merged =
+    List.fold_left
+      (fun acc (k, v) -> Record.bind acc k v)
+      r.source
+      (Record.bindings r.projected)
+  in
+  let ctx = Runtime.ctx config g merged in
+  let ctx = match r.group with None -> ctx | Some rows -> Ctx.with_group ctx rows in
+  Eval.eval ctx e
+
+let eval_count config g e =
+  let ctx = Runtime.ctx config g Record.empty in
+  match Eval.eval ctx e with
+  | Value.Int n -> max 0 n
+  | v ->
+      Errors.eval_error "SKIP/LIMIT requires a non-negative integer, got %s"
+        (Value.to_string v)
+
+let run config (g, t) (proj : projection) =
+  let items = effective_items t proj in
+  let names = List.map item_name items in
+  (match
+     List.find_opt
+       (fun n -> List.length (List.filter (String.equal n) names) > 1)
+       names
+   with
+  | Some n -> Errors.eval_error "duplicate column name `%s` in projection" n
+  | None -> ());
+  let has_agg = List.exists (fun it -> expr_has_agg it.item_expr) items in
+  let out_rows =
+    if not has_agg then
+      List.map
+        (fun row ->
+          let ctx = Runtime.ctx config g row in
+          let projected =
+            List.fold_left2
+              (fun acc name it -> Record.bind acc name (Eval.eval ctx it.item_expr))
+              Record.empty names items
+          in
+          { projected; source = row; group = None })
+        (Table.rows t)
+    else begin
+      (* implicit grouping: non-aggregate items are the grouping keys *)
+      let key_items = List.filter (fun it -> not (expr_has_agg it.item_expr)) items in
+      let key_of row =
+        let ctx = Runtime.ctx config g row in
+        List.map (fun it -> Eval.eval ctx it.item_expr) key_items
+      in
+      let groups =
+        if key_items = [] then
+          (* one global group, present even when the table is empty *)
+          [ ([], Table.rows t) ]
+        else
+          Cypher_util.Listx.group_by
+            (fun row ->
+              Fmt.str "%a" Fmt.(list ~sep:(any "\x00") Value.pp) (key_of row))
+            (Table.rows t)
+          |> List.map (fun (_, rows) -> (key_of (List.hd rows), rows))
+      in
+      List.map
+        (fun (_, rows) ->
+          let source = match rows with r :: _ -> r | [] -> Record.empty in
+          let ctx =
+            Ctx.with_group (Runtime.ctx config g source) rows
+          in
+          let projected =
+            List.fold_left2
+              (fun acc name it -> Record.bind acc name (Eval.eval ctx it.item_expr))
+              Record.empty names items
+          in
+          { projected; source; group = Some rows })
+        groups
+    end
+  in
+  (* DISTINCT *)
+  let out_rows =
+    if not proj.proj_distinct then out_rows
+    else
+      let rec dedup acc = function
+        | [] -> List.rev acc
+        | r :: rest ->
+            if
+              List.exists
+                (fun r' -> Record.compare r.projected r'.projected = 0)
+                acc
+            then dedup acc rest
+            else dedup (r :: acc) rest
+      in
+      dedup [] out_rows
+  in
+  (* ORDER BY *)
+  let out_rows =
+    if proj.proj_order = [] then out_rows
+    else
+      let cmp r1 r2 =
+        let rec loop = function
+          | [] -> 0
+          | s :: rest ->
+              let v1 = eval_sort_key config g r1 s.sort_expr in
+              let v2 = eval_sort_key config g r2 s.sort_expr in
+              let c = Value.compare_total v1 v2 in
+              if c <> 0 then if s.sort_ascending then c else -c else loop rest
+        in
+        loop proj.proj_order
+      in
+      List.stable_sort cmp out_rows
+  in
+  (* SKIP / LIMIT *)
+  let out_rows =
+    match proj.proj_skip with
+    | None -> out_rows
+    | Some e -> Cypher_util.Listx.drop (eval_count config g e) out_rows
+  in
+  let out_rows =
+    match proj.proj_limit with
+    | None -> out_rows
+    | Some e -> Cypher_util.Listx.take (eval_count config g e) out_rows
+  in
+  (* WITH ... WHERE *)
+  let out_rows =
+    match proj.proj_where with
+    | None -> out_rows
+    | Some e ->
+        List.filter
+          (fun r ->
+            let ctx = Runtime.ctx config g r.projected in
+            Cypher_graph.Tri.to_bool_where (Eval.eval_truth ctx e))
+          out_rows
+  in
+  (g, Table.make names (List.map (fun r -> r.projected) out_rows))

@@ -1,0 +1,14 @@
+(** Semantics of RETURN and WITH: projection, aliasing, aggregation with
+    implicit grouping (non-aggregate items are the grouping keys),
+    DISTINCT, ORDER BY, SKIP and LIMIT, and the WITH ... WHERE filter. *)
+
+open Cypher_graph
+open Cypher_table
+
+(** Output column name of a projection item: the alias, the variable
+    name, or the printed expression. *)
+val item_name : Cypher_ast.Ast.proj_item -> string
+
+val run :
+  Config.t -> Graph.t * Table.t -> Cypher_ast.Ast.projection ->
+  Graph.t * Table.t

@@ -1,0 +1,121 @@
+(** The collapsibility quotient of Section 8.2.
+
+    Given the output of MERGE ALL, nodes created by the clause are
+    *collapsible* (Definition 1) when they carry the same label set and
+    the same property map — pre-existing nodes only collapse with
+    themselves (condition iii).  Relationships created by the clause are
+    collapsible (Definition 2) when they have the same type and
+    properties and their endpoints are collapsible.  The quotient graph
+    keeps one representative per equivalence class and remaps
+    relationship endpoints and driving-table references.
+
+    The position flags implement the weaker proposals of Section 6:
+    when [node_pos_matters] is true, only nodes created for the *same
+    position* of the input pattern may collapse (Weak Collapse); likewise
+    [rel_pos_matters] for relationships (Weak Collapse and Collapse).
+    MERGE SAME (Strong Collapse) sets both to false. *)
+
+open Cypher_util.Maps
+open Cypher_graph
+
+(** Position of a created entity inside the MERGE pattern tuple:
+    (pattern index, element index within that pattern). *)
+type position = int * int
+
+(** Canonical, comparison-safe key for a property map. *)
+let props_key props = Fmt.str "%a" Props.pp props
+
+type result = {
+  graph : Graph.t;
+  node_map : int -> int;  (** entity id → class representative *)
+  rel_map : int -> int;
+}
+
+let identity_result graph =
+  { graph; node_map = (fun id -> id); rel_map = (fun id -> id) }
+
+(** [apply g ~new_nodes ~new_rels ~node_pos_matters ~rel_pos_matters]
+    quotients [g] by collapsibility of the listed created entities. *)
+let apply (g : Graph.t) ~(new_nodes : (int * position) list)
+    ~(new_rels : (int * position) list) ~node_pos_matters ~rel_pos_matters :
+    result =
+  (* --- node classes ------------------------------------------------ *)
+  let node_classes : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let node_reps = Hashtbl.create 16 in
+  List.iter
+    (fun (id, pos) ->
+      match Graph.node g id with
+      | None -> ()
+      | Some n ->
+          let key =
+            Fmt.str "%s|%s|%s"
+              (if node_pos_matters then Fmt.str "%d.%d" (fst pos) (snd pos)
+               else "_")
+              (String.concat ":" (Sset.elements n.Graph.labels))
+              (props_key n.Graph.n_props)
+          in
+          (* class representative: the smallest id in the class (ids grow
+             monotonically, so the first-created entity represents) *)
+          let rep =
+            match Hashtbl.find_opt node_classes key with
+            | None ->
+                Hashtbl.add node_classes key id;
+                id
+            | Some rep -> min rep id
+          in
+          Hashtbl.replace node_classes key rep;
+          Hashtbl.replace node_reps id key)
+    (List.sort compare new_nodes);
+  let node_map id =
+    match Hashtbl.find_opt node_reps id with
+    | None -> id (* pre-existing node: collapses only with itself *)
+    | Some key -> Hashtbl.find node_classes key
+  in
+  (* --- relationship classes ---------------------------------------- *)
+  let rel_classes : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let rel_reps = Hashtbl.create 16 in
+  List.iter
+    (fun (id, pos) ->
+      match Graph.rel g id with
+      | None -> ()
+      | Some r ->
+          let key =
+            Fmt.str "%s|%s|%s|%d|%d"
+              (if rel_pos_matters then Fmt.str "%d.%d" (fst pos) (snd pos)
+               else "_")
+              r.Graph.r_type
+              (props_key r.Graph.r_props)
+              (node_map r.Graph.src) (node_map r.Graph.tgt)
+          in
+          let rep =
+            match Hashtbl.find_opt rel_classes key with
+            | None ->
+                Hashtbl.add rel_classes key id;
+                id
+            | Some rep -> min rep id
+          in
+          Hashtbl.replace rel_classes key rep;
+          Hashtbl.replace rel_reps id key)
+    (List.sort compare new_rels);
+  let rel_map id =
+    match Hashtbl.find_opt rel_reps id with
+    | None -> id
+    | Some key -> Hashtbl.find rel_classes key
+  in
+  (* --- rebuild ------------------------------------------------------ *)
+  let keep_node (n : Graph.node) = node_map n.Graph.n_id = n.Graph.n_id in
+  let keep_rel (r : Graph.rel) = rel_map r.Graph.r_id = r.Graph.r_id in
+  let nodes = List.filter keep_node (Graph.nodes g) in
+  let rels =
+    List.filter_map
+      (fun (r : Graph.rel) ->
+        if keep_rel r then
+          Some { r with Graph.src = node_map r.Graph.src; tgt = node_map r.Graph.tgt }
+        else None)
+      (Graph.rels g)
+  in
+  let graph =
+    Graph.rebuild ~next_id:(Graph.next_id g) ~tombs:(Graph.tombstones g) nodes
+      rels
+  in
+  { graph; node_map; rel_map }

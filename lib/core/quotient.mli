@@ -1,0 +1,41 @@
+(** The collapsibility quotient of Section 8.2.
+
+    Given the output of MERGE ALL, nodes created by the clause are
+    *collapsible* (Definition 1) when they carry the same label set and
+    the same property map — pre-existing nodes only collapse with
+    themselves (condition iii).  Relationships created by the clause are
+    collapsible (Definition 2) when they have the same type and
+    properties and their endpoints are collapsible.  The quotient graph
+    keeps one representative per equivalence class and remaps
+    relationship endpoints and driving-table references.
+
+    The position flags implement the weaker proposals of Section 6:
+    when [node_pos_matters] is true, only nodes created for the *same
+    position* of the input pattern may collapse (Weak Collapse);
+    likewise [rel_pos_matters] for relationships (Weak Collapse and
+    Collapse).  MERGE SAME (Strong Collapse) sets both to false. *)
+
+open Cypher_graph
+
+(** Position of a created entity inside the MERGE pattern tuple:
+    (pattern index, element index within that pattern). *)
+type position = int * int
+
+type result = {
+  graph : Graph.t;
+  node_map : int -> int;  (** entity id → class representative *)
+  rel_map : int -> int;
+}
+
+(** The identity quotient (used by MERGE ALL and Grouping). *)
+val identity_result : Graph.t -> result
+
+(** [apply g ~new_nodes ~new_rels ~node_pos_matters ~rel_pos_matters]
+    quotients [g] by collapsibility of the listed created entities. *)
+val apply :
+  Graph.t ->
+  new_nodes:(int * position) list ->
+  new_rels:(int * position) list ->
+  node_pos_matters:bool ->
+  rel_pos_matters:bool ->
+  result

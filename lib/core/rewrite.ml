@@ -1,0 +1,50 @@
+(** Rewriting of entity references inside values and records.
+
+    Used by atomic DELETE ("any reference to a deleted entity in the
+    driving table is replaced by a null", Section 7) and by the
+    MERGE SAME quotient (occurrences of an entity are replaced by their
+    equivalence-class representative, Section 8.2). *)
+
+open Cypher_util.Maps
+open Cypher_graph
+open Cypher_table
+
+(** [map_entities ~node ~rel v] rewrites every node/relationship
+    reference in [v], descending into lists, maps and paths.  [node] and
+    [rel] return [None] to null the reference out, or [Some id]. *)
+let rec map_entities ~node ~rel (v : Value.t) : Value.t =
+  match v with
+  | Value.Node id -> (
+      match node id with Some id' -> Value.Node id' | None -> Value.Null)
+  | Value.Rel id -> (
+      match rel id with Some id' -> Value.Rel id' | None -> Value.Null)
+  | Value.Path p ->
+      let nodes = List.map node p.Value.path_nodes in
+      let rels = List.map rel p.Value.path_rels in
+      if List.exists Option.is_none nodes || List.exists Option.is_none rels
+      then Value.Null (* a path with a deleted component is no longer a path *)
+      else
+        Value.Path
+          {
+            Value.path_nodes = List.map Option.get nodes;
+            path_rels = List.map Option.get rels;
+          }
+  | Value.List l -> Value.List (List.map (map_entities ~node ~rel) l)
+  | Value.Map m -> Value.Map (Smap.map (map_entities ~node ~rel) m)
+  | Value.Null | Value.Bool _ | Value.Int _ | Value.Float _ | Value.String _
+    ->
+      v
+
+let record ~node ~rel (r : Record.t) : Record.t =
+  Record.map_values (map_entities ~node ~rel) r
+
+let table ~node ~rel (t : Table.t) : Table.t =
+  Table.map (record ~node ~rel) t
+
+(** [null_deleted ~nodes ~rels t] replaces references to the deleted id
+    sets by null throughout [t]. *)
+let null_deleted ~nodes ~rels t =
+  table
+    ~node:(fun id -> if Iset.mem id nodes then None else Some id)
+    ~rel:(fun id -> if Iset.mem id rels then None else Some id)
+    t

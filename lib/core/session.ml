@@ -1,0 +1,72 @@
+(** Sessions: a mutable graph handle with nested transactions.
+
+    The paper notes that freely mixing reading and writing clauses
+    "raises questions regarding atomicity of statements and transaction
+    boundaries" (Section 2).  Statement-level atomicity is already
+    guaranteed by the engine (a failing statement returns an error and
+    the session keeps its previous graph).  This module adds explicit
+    transaction boundaries on top: [begin_tx] snapshots the graph,
+    [rollback] restores the snapshot, [commit] discards it.  Because the
+    store is immutable, snapshots are O(1).
+
+    Transactions nest: each [begin_tx] pushes a snapshot, [commit] and
+    [rollback] pop one. *)
+
+open Cypher_graph
+open Cypher_table
+
+type t = {
+  mutable graph : Graph.t;
+  mutable config : Config.t;
+  mutable snapshots : Graph.t list;
+}
+
+let create ?(config = Config.revised) graph = { graph; config; snapshots = [] }
+
+let graph s = s.graph
+let config s = s.config
+let set_config s config = s.config <- config
+
+(** Transaction depth: 0 outside any transaction. *)
+let depth s = List.length s.snapshots
+
+let in_transaction s = s.snapshots <> []
+
+let begin_tx s = s.snapshots <- s.graph :: s.snapshots
+
+let commit s =
+  match s.snapshots with
+  | [] -> Error "no transaction in progress"
+  | _ :: rest ->
+      s.snapshots <- rest;
+      Ok ()
+
+let rollback s =
+  match s.snapshots with
+  | [] -> Error "no transaction in progress"
+  | snapshot :: rest ->
+      s.graph <- snapshot;
+      s.snapshots <- rest;
+      Ok ()
+
+(** [run s src] executes one statement against the session graph; the
+    graph advances only on success (statement-level atomicity). *)
+let run s src : (Table.t, Errors.t) result =
+  match Api.run_string ~config:s.config s.graph src with
+  | Ok { Api.graph; table } ->
+      s.graph <- graph;
+      Ok table
+  | Error e -> Error e
+
+(** [run_query s q] is {!run} for a pre-parsed query. *)
+let run_query s q : (Table.t, Errors.t) result =
+  match Api.run_query ~config:s.config s.graph q with
+  | Ok { Api.graph; table } ->
+      s.graph <- graph;
+      Ok table
+  | Error e -> Error e
+
+(** [reset s] drops the graph and any open transactions. *)
+let reset s =
+  s.graph <- Graph.empty;
+  s.snapshots <- []

@@ -1,0 +1,36 @@
+(** Sessions: a mutable graph handle with nested transactions.
+
+    Statement-level atomicity is already guaranteed by the engine (a
+    failing statement leaves the session graph unchanged); this module
+    adds explicit transaction boundaries: {!begin_tx} snapshots the
+    graph, {!rollback} restores the snapshot, {!commit} discards it.
+    Because the store is immutable, snapshots are O(1).  Transactions
+    nest. *)
+
+open Cypher_graph
+open Cypher_table
+
+type t
+
+val create : ?config:Config.t -> Graph.t -> t
+val graph : t -> Graph.t
+val config : t -> Config.t
+val set_config : t -> Config.t -> unit
+
+(** Transaction depth: 0 outside any transaction. *)
+val depth : t -> int
+
+val in_transaction : t -> bool
+val begin_tx : t -> unit
+val commit : t -> (unit, string) result
+val rollback : t -> (unit, string) result
+
+(** [run s src] executes one statement against the session graph; the
+    graph advances only on success (statement-level atomicity). *)
+val run : t -> string -> (Table.t, Errors.t) result
+
+(** [run_query s q] is {!run} for a pre-parsed query. *)
+val run_query : t -> Cypher_ast.Ast.query -> (Table.t, Errors.t) result
+
+(** [reset s] drops the graph and any open transactions. *)
+val reset : t -> unit

@@ -1,0 +1,155 @@
+(** CSV substrate.
+
+    The paper motivates MERGE by bulk import: "a graph database may be
+    initially populated by importing data from a relational database or
+    a CSV file" (Section 6), and Example 3's assumption of a
+    pre-populated driving table "reflects the way in which a graph
+    database may be initially populated".  This module provides that
+    import path: an RFC-4180-style reader and conversion of rows to
+    driving tables, with automatic typing (integers, floats, booleans,
+    null for empty fields). *)
+
+open Cypher_graph
+open Cypher_table
+
+type error = { message : string; line : int }
+
+let error_to_string e = Printf.sprintf "CSV error at line %d: %s" e.line e.message
+
+exception Csv_error of error
+
+(** [parse_string src] splits CSV text into rows of raw string fields.
+    Handles quoted fields (with embedded commas, newlines and doubled
+    quotes) and both LF and CRLF line endings. *)
+let parse_string src : string list list =
+  let rows = ref [] in
+  let fields = ref [] in
+  let buf = Buffer.create 32 in
+  let line = ref 1 in
+  let n = String.length src in
+  let flush_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let flush_row () =
+    flush_field ();
+    rows := List.rev !fields :: !rows;
+    fields := []
+  in
+  let rec plain i =
+    if i >= n then (if !fields <> [] || Buffer.length buf > 0 then flush_row ())
+    else
+      match src.[i] with
+      | ',' ->
+          flush_field ();
+          plain (i + 1)
+      | '\r' when i + 1 < n && src.[i + 1] = '\n' ->
+          incr line;
+          flush_row ();
+          plain (i + 2)
+      | '\n' ->
+          incr line;
+          flush_row ();
+          plain (i + 1)
+      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          plain (i + 1)
+  and quoted i =
+    if i >= n then
+      raise (Csv_error { message = "unterminated quoted field"; line = !line })
+    else
+      match src.[i] with
+      | '"' when i + 1 < n && src.[i + 1] = '"' ->
+          Buffer.add_char buf '"';
+          quoted (i + 2)
+      | '"' -> plain (i + 1)
+      | '\n' ->
+          incr line;
+          Buffer.add_char buf '\n';
+          quoted (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          quoted (i + 1)
+  in
+  plain 0;
+  List.rev !rows
+
+(** Types a raw field: empty → null; integer / float / boolean literals
+    are recognised; anything else is a string. *)
+let type_field s : Value.t =
+  if s = "" then Value.Null
+  else
+    match int_of_string_opt s with
+    | Some i -> Value.Int i
+    | None -> (
+        match float_of_string_opt s with
+        | Some f -> Value.Float f
+        | None -> (
+            match String.lowercase_ascii s with
+            | "true" -> Value.Bool true
+            | "false" -> Value.Bool false
+            | "null" -> Value.Null
+            | _ -> Value.String s))
+
+(** [table_of_string ~typed src] reads CSV text whose first row is the
+    header and produces a driving table (one column per header field).
+    With [typed = false] all fields stay strings (empty still null). *)
+let table_of_string ?(typed = true) src : Table.t =
+  match parse_string src with
+  | [] -> Table.unit
+  | header :: rows ->
+      let convert s =
+        if typed then type_field s
+        else if s = "" then Value.Null
+        else Value.String s
+      in
+      let to_record i fields =
+        if List.length fields <> List.length header then
+          raise
+            (Csv_error
+               {
+                 message =
+                   Printf.sprintf "row has %d fields, header has %d"
+                     (List.length fields) (List.length header);
+                 line = i + 2;
+               })
+        else
+          List.fold_left2
+            (fun r k v -> Record.bind r k (convert v))
+            Record.empty header fields
+      in
+      Table.make header (List.mapi to_record rows)
+
+let table_of_file ?typed path : Table.t =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  table_of_string ?typed content
+
+(** [to_string table] renders a driving table back to CSV (strings are
+    quoted when needed; null becomes the empty field). *)
+let to_string (t : Table.t) : string =
+  let quote s =
+    if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+      "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+    else s
+  in
+  let field = function
+    | Value.Null -> ""
+    | Value.String s -> quote s
+    | v -> quote (Value.to_string v)
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (String.concat "," (List.map quote (Table.columns t)));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      let cells =
+        List.map (fun c -> field (Record.find r c)) (Table.columns t)
+      in
+      Buffer.add_string buf (String.concat "," cells);
+      Buffer.add_char buf '\n')
+    (Table.rows t);
+  Buffer.contents buf

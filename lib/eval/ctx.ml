@@ -1,0 +1,39 @@
+(** Evaluation context: the graph G and assignment u of [[e]]G,u, plus
+    query parameters and (during projection) the rows of the current
+    aggregation group. *)
+
+open Cypher_util.Maps
+open Cypher_graph
+open Cypher_table
+
+type t = {
+  graph : Graph.t;
+  row : Record.t;
+  params : Value.t Smap.t;
+  group : Record.t list option;
+      (** [Some rows] while evaluating aggregating projection items *)
+  pattern_oracle : (t -> Cypher_ast.Ast.pattern list -> Record.t list) option;
+      (** computes the embeddings of a pattern tuple extending the
+          current record — the basis for pattern predicates such as
+          [exists((a)-[:T]->(b))] and for pattern comprehensions;
+          injected by the engine so the evaluator does not depend on
+          the matcher *)
+  shortest_oracle :
+    (t -> all:bool -> Cypher_ast.Ast.pattern -> Value.t) option;
+      (** computes shortestPath / allShortestPaths between bound
+          endpoints; injected by the engine *)
+}
+
+let make ?(params = Smap.empty) ?pattern_oracle ?shortest_oracle graph row =
+  { graph; row; params; group = None; pattern_oracle; shortest_oracle }
+
+let with_row ctx row = { ctx with row }
+let with_group ctx rows = { ctx with group = Some rows }
+let without_group ctx = { ctx with group = None }
+
+(** Evaluation failure (type errors, unknown variables, division by
+    zero, …).  Caught at the statement boundary and surfaced as a typed
+    error by the engine. *)
+exception Error of string
+
+let error fmt = Format.kasprintf (fun m -> raise (Error m)) fmt

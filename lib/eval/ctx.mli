@@ -1,0 +1,44 @@
+(** Evaluation context: the graph G and assignment u of [[e]]G,u, plus
+    query parameters and (during projection) the rows of the current
+    aggregation group. *)
+
+open Cypher_util.Maps
+open Cypher_graph
+open Cypher_table
+
+type t = {
+  graph : Graph.t;
+  row : Record.t;
+  params : Value.t Smap.t;
+  group : Record.t list option;
+      (** [Some rows] while evaluating aggregating projection items *)
+  pattern_oracle : (t -> Cypher_ast.Ast.pattern list -> Record.t list) option;
+      (** computes the embeddings of a pattern tuple extending the
+          current record — the basis for pattern predicates such as
+          [exists((a)-[:T]->(b))] and for pattern comprehensions;
+          injected by the engine so the evaluator does not depend on
+          the matcher *)
+  shortest_oracle :
+    (t -> all:bool -> Cypher_ast.Ast.pattern -> Value.t) option;
+      (** computes shortestPath / allShortestPaths between bound
+          endpoints; injected by the engine *)
+}
+
+val make :
+  ?params:Value.t Smap.t ->
+  ?pattern_oracle:(t -> Cypher_ast.Ast.pattern list -> Record.t list) ->
+  ?shortest_oracle:(t -> all:bool -> Cypher_ast.Ast.pattern -> Value.t) ->
+  Graph.t ->
+  Record.t ->
+  t
+val with_row : t -> Record.t -> t
+val with_group : t -> Record.t list -> t
+val without_group : t -> t
+
+(** Evaluation failure (type errors, unknown variables, division by
+    zero, …).  Caught at the statement boundary and surfaced as a typed
+    error by the engine. *)
+exception Error of string
+
+(** [error fmt ...] raises {!Error} with a formatted message. *)
+val error : ('a, Format.formatter, unit, 'b) format4 -> 'a

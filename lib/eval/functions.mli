@@ -1,0 +1,22 @@
+(** Built-in scalar functions.
+
+    Functions are looked up by lowercase name; most follow Cypher's null
+    discipline (a null argument yields null).  Entity inspection
+    functions (id, labels, type, …) read the graph in the context.
+
+    Implemented: id, labels, type, properties, keys, exists, startNode,
+    endNode, nodes, relationships, length, size, head, last, tail,
+    reverse, range, coalesce, toString, toInteger, toFloat, toBoolean,
+    abs, sign, sqrt, exp, log, log10, floor, ceil, round, sin, cos,
+    tan, asin, acos, atan, atan2, pi, e, toUpper, toLower, trim, ltrim,
+    rtrim, left, right, substring, split, replace. *)
+
+open Cypher_graph
+
+(** String rendering used by [toString] and string concatenation:
+    unquoted strings, Cypher syntax for everything else. *)
+val display_string : Value.t -> string
+
+(** [apply ctx name args] applies built-in [name] to evaluated [args].
+    @raise Ctx.Error on unknown names or ill-typed arguments. *)
+val apply : Ctx.t -> string -> Value.t list -> Value.t

@@ -1,0 +1,49 @@
+(** Graphviz DOT rendering of property graphs, used by the shell and the
+    example programs to visualise result graphs. *)
+
+open Cypher_util.Maps
+
+let escape s =
+  String.concat ""
+    (List.map
+       (function '"' -> "\\\"" | '\n' -> "\\n" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let node_label (n : Graph.node) =
+  let labels = Sset.elements n.labels in
+  let header =
+    if labels = [] then Printf.sprintf "#%d" n.n_id
+    else String.concat "" (List.map (fun l -> ":" ^ l) labels)
+  in
+  let props =
+    Props.bindings n.n_props
+    |> List.map (fun (k, v) -> Printf.sprintf "%s = %s" k (Value.to_string v))
+  in
+  String.concat "\\n" (header :: props)
+
+let rel_label (r : Graph.rel) =
+  let props =
+    Props.bindings r.r_props
+    |> List.map (fun (k, v) -> Printf.sprintf "%s = %s" k (Value.to_string v))
+  in
+  String.concat "\\n" ((":" ^ r.r_type) :: props)
+
+(** [to_dot g] renders [g] as a DOT digraph. *)
+let to_dot ?(name = "G") g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  Buffer.add_string buf "  node [shape=ellipse, fontname=\"Helvetica\"];\n";
+  List.iter
+    (fun (n : Graph.node) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\"];\n" n.n_id
+           (escape (node_label n))))
+    (Graph.nodes g);
+  List.iter
+    (fun (r : Graph.rel) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> n%d [label=\"%s\"];\n" r.src r.tgt
+           (escape (rel_label r))))
+    (Graph.rels g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

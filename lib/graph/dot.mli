@@ -1,0 +1,5 @@
+(** Graphviz DOT rendering of property graphs, used by the shell and the
+    example programs to visualise result graphs. *)
+
+(** [to_dot ?name g] renders [g] as a DOT digraph. *)
+val to_dot : ?name:string -> Graph.t -> string

@@ -1,0 +1,46 @@
+(** Serialisation of a property graph to an equivalent Cypher script.
+
+    [to_cypher g] produces a single CREATE statement that rebuilds [g]
+    (up to entity ids) when executed on the empty graph — the repository
+    analogue of a database dump.  Identifiers that are not plain are
+    backtick-quoted; property values print as Cypher literals. *)
+
+open Cypher_util.Maps
+
+let is_plain_ident s =
+  s <> ""
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       s
+
+let quote_ident s = if is_plain_ident s then s else "`" ^ s ^ "`"
+
+let props_fragment props =
+  if Props.is_empty props then ""
+  else
+    let pair (k, v) = Printf.sprintf "%s: %s" (quote_ident k) (Value.to_string v) in
+    " {" ^ String.concat ", " (List.map pair (Props.bindings props)) ^ "}"
+
+let node_fragment (n : Graph.node) =
+  Printf.sprintf "(n%d%s%s)" n.Graph.n_id
+    (String.concat ""
+       (List.map (fun l -> ":" ^ quote_ident l) (Sset.elements n.Graph.labels)))
+    (props_fragment n.Graph.n_props)
+
+let rel_fragment (r : Graph.rel) =
+  Printf.sprintf "(n%d)-[:%s%s]->(n%d)" r.Graph.src
+    (quote_ident r.Graph.r_type)
+    (props_fragment r.Graph.r_props)
+    r.Graph.tgt
+
+(** [to_cypher g] is a Cypher script rebuilding [g]; empty for the empty
+    graph. *)
+let to_cypher (g : Graph.t) : string =
+  let fragments =
+    List.map node_fragment (Graph.nodes g)
+    @ List.map rel_fragment (Graph.rels g)
+  in
+  match fragments with
+  | [] -> ""
+  | fragments -> "CREATE " ^ String.concat ",\n       " fragments ^ ";\n"

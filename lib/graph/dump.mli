@@ -1,0 +1,8 @@
+(** Serialisation of a property graph to an equivalent Cypher script.
+
+    [to_cypher g] produces a single CREATE statement that rebuilds [g]
+    (up to entity ids) when executed on the empty graph — the repository
+    analogue of a database dump.  Round-trip (dump, then execute) is
+    property-tested to yield an isomorphic graph. *)
+
+val to_cypher : Graph.t -> string

@@ -1,0 +1,398 @@
+(** The property graph store.
+
+    Implements the paper's formal model G = 〈N, R, src, tgt, ι, λ, τ〉
+    (Section 8.2) as an immutable, persistent structure:
+
+    - N is the domain of [nodes]; λ gives each node's label set and ι its
+      property map;
+    - R is the domain of [rels]; src/tgt/τ/ι are the fields of {!rel}.
+
+    Immutability is what makes the revised, atomic update semantics easy
+    to implement correctly: clauses evaluate all their reads against the
+    input graph and produce a fresh output graph in one step.
+
+    The store additionally supports the *legacy* (Cypher 9) behaviours the
+    paper criticises: {!remove_node_force} can leave dangling
+    relationships (Section 4.2), and deleted entities leave tombstones so
+    that a driving table can still reference them (the "empty node"
+    observation of Section 4.2). *)
+
+open Cypher_util.Maps
+
+type node_id = Value.node_id
+type rel_id = Value.rel_id
+
+type node = { n_id : node_id; labels : Sset.t; n_props : Props.t }
+
+type rel = {
+  r_id : rel_id;
+  src : node_id;
+  tgt : node_id;
+  r_type : string;
+  r_props : Props.t;
+}
+
+(** What kind of entity a tombstoned id used to be. *)
+type tomb = Tomb_node | Tomb_rel
+
+type t = {
+  nodes : node Imap.t;
+  rels : rel Imap.t;
+  out_adj : Iset.t Imap.t; (* node id -> ids of rels leaving it *)
+  in_adj : Iset.t Imap.t; (* node id -> ids of rels entering it *)
+  label_index : Iset.t Smap.t; (* label -> ids of nodes carrying it *)
+  next_id : int;
+  tombs : tomb Imap.t;
+}
+
+let empty =
+  {
+    nodes = Imap.empty;
+    rels = Imap.empty;
+    out_adj = Imap.empty;
+    in_adj = Imap.empty;
+    label_index = Smap.empty;
+    next_id = 0;
+    tombs = Imap.empty;
+  }
+
+(* --- label index maintenance -------------------------------------- *)
+
+let index_add label id idx =
+  Smap.update label
+    (function None -> Some (Iset.singleton id) | Some s -> Some (Iset.add id s))
+    idx
+
+let index_remove label id idx =
+  Smap.update label
+    (function
+      | None -> None
+      | Some s ->
+          let s = Iset.remove id s in
+          if Iset.is_empty s then None else Some s)
+    idx
+
+let index_node (n : node) idx =
+  Sset.fold (fun l idx -> index_add l n.n_id idx) n.labels idx
+
+let unindex_node (n : node) idx =
+  Sset.fold (fun l idx -> index_remove l n.n_id idx) n.labels idx
+
+(** Adjusts the index when a node's label set changes. *)
+let reindex ~old_labels ~new_labels id idx =
+  let idx =
+    Sset.fold
+      (fun l idx -> index_remove l id idx)
+      (Sset.diff old_labels new_labels)
+      idx
+  in
+  Sset.fold
+    (fun l idx -> index_add l id idx)
+    (Sset.diff new_labels old_labels)
+    idx
+
+(* ------------------------------------------------------------------ *)
+(* Lookup                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let node g id = Imap.find_opt id g.nodes
+let rel g id = Imap.find_opt id g.rels
+
+let node_exn g id =
+  match node g id with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Graph.node_exn: no node %d" id)
+
+let rel_exn g id =
+  match rel g id with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Graph.rel_exn: no relationship %d" id)
+
+let has_node g id = Imap.mem id g.nodes
+let next_id g = g.next_id
+let tombstones g = g.tombs
+let has_rel g id = Imap.mem id g.rels
+let is_tombstoned g id = Imap.mem id g.tombs
+let tombstone g id = Imap.find_opt id g.tombs
+let node_count g = Imap.cardinal g.nodes
+let rel_count g = Imap.cardinal g.rels
+let nodes g = List.map snd (Imap.bindings g.nodes)
+let rels g = List.map snd (Imap.bindings g.rels)
+let node_ids g = List.map fst (Imap.bindings g.nodes)
+let rel_ids g = List.map fst (Imap.bindings g.rels)
+let fold_nodes f g acc = Imap.fold (fun _ n acc -> f n acc) g.nodes acc
+let fold_rels f g acc = Imap.fold (fun _ r acc -> f r acc) g.rels acc
+
+let adj_find id m = match Imap.find_opt id m with Some s -> s | None -> Iset.empty
+
+(** Relationships leaving node [id], in id order. *)
+let out_rels g id =
+  Iset.fold (fun r acc -> rel_exn g r :: acc) (adj_find id g.out_adj) []
+  |> List.rev
+
+(** Relationships entering node [id], in id order. *)
+let in_rels g id =
+  Iset.fold (fun r acc -> rel_exn g r :: acc) (adj_find id g.in_adj) []
+  |> List.rev
+
+(** All relationships incident to node [id] (self-loops reported once). *)
+let incident_rels g id =
+  let s = Iset.union (adj_find id g.out_adj) (adj_find id g.in_adj) in
+  Iset.fold (fun r acc -> rel_exn g r :: acc) s [] |> List.rev
+
+let degree g id = Iset.cardinal (Iset.union (adj_find id g.out_adj) (adj_find id g.in_adj))
+
+(** Relationships whose source or target node no longer exists — only
+    possible after a legacy force-delete; a well-formed graph has none. *)
+let dangling_rels g =
+  fold_rels
+    (fun r acc ->
+      if has_node g r.src && has_node g r.tgt then acc else r :: acc)
+    g []
+  |> List.rev
+
+let is_wellformed g = dangling_rels g = []
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let create_node ?(labels = []) ?(props = Props.empty) g =
+  let id = g.next_id in
+  let n = { n_id = id; labels = sset_of_list labels; n_props = props } in
+  ( id,
+    {
+      g with
+      nodes = Imap.add id n g.nodes;
+      label_index = index_node n g.label_index;
+      next_id = id + 1;
+    } )
+
+let create_rel ~src ~tgt ~r_type ?(props = Props.empty) g =
+  if not (has_node g src) then
+    invalid_arg (Printf.sprintf "Graph.create_rel: no source node %d" src);
+  if not (has_node g tgt) then
+    invalid_arg (Printf.sprintf "Graph.create_rel: no target node %d" tgt);
+  let id = g.next_id in
+  let r = { r_id = id; src; tgt; r_type; r_props = props } in
+  let out_adj = Imap.add src (Iset.add id (adj_find src g.out_adj)) g.out_adj in
+  let in_adj = Imap.add tgt (Iset.add id (adj_find tgt g.in_adj)) g.in_adj in
+  (id, { g with rels = Imap.add id r g.rels; out_adj; in_adj; next_id = id + 1 })
+
+(* ------------------------------------------------------------------ *)
+(* In-place modification (persistent: returns a new graph)            *)
+(* ------------------------------------------------------------------ *)
+
+let update_node g id f =
+  match node g id with
+  | None -> g
+  | Some n ->
+      let n' = f n in
+      {
+        g with
+        nodes = Imap.add id n' g.nodes;
+        label_index =
+          reindex ~old_labels:n.labels ~new_labels:n'.labels id g.label_index;
+      }
+
+let update_rel g id f =
+  match rel g id with
+  | None -> g
+  | Some r -> { g with rels = Imap.add id (f r) g.rels }
+
+let set_node_prop g id k v =
+  update_node g id (fun n -> { n with n_props = Props.set n.n_props k v })
+
+let set_rel_prop g id k v =
+  update_rel g id (fun r -> { r with r_props = Props.set r.r_props k v })
+
+let remove_node_prop g id k =
+  update_node g id (fun n -> { n with n_props = Props.remove n.n_props k })
+
+let remove_rel_prop g id k =
+  update_rel g id (fun r -> { r with r_props = Props.remove r.r_props k })
+
+let replace_node_props g id props =
+  update_node g id (fun n -> { n with n_props = props })
+
+let replace_rel_props g id props =
+  update_rel g id (fun r -> { r with r_props = props })
+
+let merge_node_props g id extra =
+  update_node g id (fun n -> { n with n_props = Props.merge_into n.n_props extra })
+
+let merge_rel_props g id extra =
+  update_rel g id (fun r -> { r with r_props = Props.merge_into r.r_props extra })
+
+let add_label g id label =
+  update_node g id (fun n -> { n with labels = Sset.add label n.labels })
+
+let add_labels g id labels =
+  List.fold_left (fun g l -> add_label g id l) g labels
+
+let remove_label g id label =
+  update_node g id (fun n -> { n with labels = Sset.remove label n.labels })
+
+(* ------------------------------------------------------------------ *)
+(* Deletion                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let remove_rel g id =
+  match rel g id with
+  | None -> g
+  | Some r ->
+      let out_adj =
+        Imap.add r.src (Iset.remove id (adj_find r.src g.out_adj)) g.out_adj
+      in
+      let in_adj =
+        Imap.add r.tgt (Iset.remove id (adj_find r.tgt g.in_adj)) g.in_adj
+      in
+      {
+        g with
+        rels = Imap.remove id g.rels;
+        out_adj;
+        in_adj;
+        tombs = Imap.add id Tomb_rel g.tombs;
+      }
+
+(** Strict node removal: refuses (returns [Error rels]) when relationships
+    are still attached — the revised [DELETE] semantics of Section 7. *)
+let remove_node g id =
+  match node g id with
+  | None -> Ok g
+  | Some n -> (
+      match incident_rels g id with
+      | [] ->
+          Ok
+            {
+              g with
+              nodes = Imap.remove id g.nodes;
+              out_adj = Imap.remove id g.out_adj;
+              in_adj = Imap.remove id g.in_adj;
+              label_index = unindex_node n g.label_index;
+              tombs = Imap.add id Tomb_node g.tombs;
+            }
+      | attached -> Error attached)
+
+(** Legacy force removal: deletes the node even when relationships are
+    attached, leaving them dangling — the intermediate illegal state the
+    paper exhibits in Section 4.2. *)
+let remove_node_force g id =
+  match node g id with
+  | None -> g
+  | Some n ->
+      {
+        g with
+        nodes = Imap.remove id g.nodes;
+        out_adj = Imap.remove id g.out_adj;
+        in_adj = Imap.remove id g.in_adj;
+        label_index = unindex_node n g.label_index;
+        tombs = Imap.add id Tomb_node g.tombs;
+      }
+
+(** Detaching removal: deletes all incident relationships first. *)
+let remove_node_detach g id =
+  let g = List.fold_left (fun g r -> remove_rel g r.r_id) g (incident_rels g id) in
+  match remove_node g id with Ok g -> g | Error _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Wholesale reconstruction                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** [rebuild ~next_id ~tombs nodes rels] constructs a graph from entity
+    lists, recomputing adjacency.  Every relationship endpoint must be
+    present in [nodes].  Used by the MERGE SAME quotient, which keeps
+    only class representatives and remaps endpoints (Section 8.2). *)
+let rebuild ~next_id ~tombs (node_list : node list) (rel_list : rel list) =
+  let g =
+    List.fold_left
+      (fun g (n : node) ->
+        {
+          g with
+          nodes = Imap.add n.n_id n g.nodes;
+          label_index = index_node n g.label_index;
+        })
+      { empty with next_id; tombs }
+      node_list
+  in
+  List.fold_left
+    (fun g (r : rel) ->
+      if not (has_node g r.src && has_node g r.tgt) then
+        invalid_arg "Graph.rebuild: relationship endpoint missing";
+      let out_adj =
+        Imap.add r.src (Iset.add r.r_id (adj_find r.src g.out_adj)) g.out_adj
+      in
+      let in_adj =
+        Imap.add r.tgt (Iset.add r.r_id (adj_find r.tgt g.in_adj)) g.in_adj
+      in
+      { g with rels = Imap.add r.r_id r g.rels; out_adj; in_adj })
+    g rel_list
+
+(* ------------------------------------------------------------------ *)
+(* Entity views for the evaluator                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** λ of a node as a sorted list; empty for tombstoned/unknown ids (the
+    "empty node" a legacy query can still observe after deletion). *)
+let labels_of g id =
+  match node g id with Some n -> Sset.elements n.labels | None -> []
+
+let node_props_of g id =
+  match node g id with Some n -> n.n_props | None -> Props.empty
+
+let rel_props_of g id =
+  match rel g id with Some r -> r.r_props | None -> Props.empty
+
+let has_label g id label =
+  match node g id with Some n -> Sset.mem label n.labels | None -> false
+
+(** Ids of the nodes carrying [label], in id order — served from the
+    label index, so label-anchored pattern scans avoid a full node
+    sweep. *)
+let nodes_with_label g label =
+  match Smap.find_opt label g.label_index with
+  | None -> []
+  | Some s -> Iset.elements s
+
+(** All labels in use with their node counts, alphabetically. *)
+let label_histogram g =
+  Smap.fold (fun l s acc -> (l, Iset.cardinal s) :: acc) g.label_index []
+  |> List.rev
+
+(** All relationship types in use with their counts, alphabetically. *)
+let type_histogram g =
+  let tally =
+    fold_rels
+      (fun r m ->
+        Smap.update r.r_type
+          (function None -> Some 1 | Some n -> Some (n + 1))
+          m)
+      g Smap.empty
+  in
+  Smap.bindings tally
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let pp_node g ppf (n : node) =
+  ignore g;
+  let labels = Sset.elements n.labels in
+  Fmt.pf ppf "(%d%s%s)" n.n_id
+    (String.concat "" (List.map (fun l -> ":" ^ l) labels))
+    (if Props.is_empty n.n_props then "" else Fmt.str " %a" Props.pp n.n_props)
+
+let pp_rel g ppf (r : rel) =
+  ignore g;
+  Fmt.pf ppf "(%d)-[%d:%s%s]->(%d)" r.src r.r_id r.r_type
+    (if Props.is_empty r.r_props then "" else Fmt.str " %a" Props.pp r.r_props)
+    r.tgt
+
+(** Deterministic textual dump: nodes then relationships, in id order. *)
+let pp ppf g =
+  Fmt.pf ppf "graph {@[<v>";
+  List.iter (fun n -> Fmt.pf ppf "@,%a" (pp_node g) n) (nodes g);
+  List.iter (fun r -> Fmt.pf ppf "@,%a" (pp_rel g) r) (rels g);
+  Fmt.pf ppf "@]@,}"
+
+let to_string g = Fmt.str "%a" pp g

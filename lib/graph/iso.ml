@@ -1,0 +1,77 @@
+(** Graph isomorphism up to entity identity.
+
+    Two property graphs are isomorphic when there is a bijection between
+    their nodes preserving labels and properties, under which the
+    relationship bags (source, target, type, properties) coincide.  The
+    paper's figures specify result graphs only up to id renaming
+    ("the output graph-table pairs are the same up to id renaming",
+    Section 8.2), so this is the right notion of equality for checking
+    reproduced experiments.
+
+    The search is a straightforward backtracking assignment with
+    signature-based candidate pruning; the graphs compared in tests and
+    experiments are small. *)
+
+open Cypher_util.Maps
+
+(** Sort key summarising everything id-independent about a node. *)
+let node_signature (n : Graph.node) =
+  (Sset.elements n.labels, Props.bindings n.n_props)
+
+let rel_multiset_key mapping (r : Graph.rel) =
+  let remap id = match Imap.find_opt id mapping with Some x -> x | None -> -1 in
+  (remap r.src, remap r.tgt, r.r_type, Props.bindings r.r_props)
+
+(** [isomorphic g1 g2] decides whether the two graphs are isomorphic. *)
+let isomorphic g1 g2 =
+  if Graph.node_count g1 <> Graph.node_count g2 then false
+  else if Graph.rel_count g1 <> Graph.rel_count g2 then false
+  else
+    let nodes1 = Graph.nodes g1 in
+    let nodes2 = Graph.nodes g2 in
+    (* quick reject: node signature multisets must coincide *)
+    let sigs g_nodes = List.sort compare (List.map node_signature g_nodes) in
+    if sigs nodes1 <> sigs nodes2 then false
+    else
+      let rels_ok mapping =
+        let key1 =
+          List.sort compare
+            (List.map (rel_multiset_key mapping) (Graph.rels g1))
+        in
+        let identity_mapping =
+          List.fold_left
+            (fun m (n : Graph.node) -> Imap.add n.n_id n.n_id m)
+            Imap.empty nodes2
+        in
+        let key2 =
+          List.sort compare
+            (List.map (rel_multiset_key identity_mapping) (Graph.rels g2))
+        in
+        key1 = key2
+      in
+      let rec assign mapping used = function
+        | [] -> rels_ok mapping
+        | (n1 : Graph.node) :: rest ->
+            let sig1 = node_signature n1 in
+            let deg1 = Graph.degree g1 n1.n_id in
+            List.exists
+              (fun (n2 : Graph.node) ->
+                (not (Iset.mem n2.n_id used))
+                && node_signature n2 = sig1
+                && Graph.degree g2 n2.n_id = deg1
+                && assign
+                     (Imap.add n1.n_id n2.n_id mapping)
+                     (Iset.add n2.n_id used)
+                     rest)
+              nodes2
+      in
+      assign Imap.empty Iset.empty nodes1
+
+(** [check_isomorphic ~expected ~actual] is [Ok ()] or a diagnostic
+    message showing both graphs; convenient in tests and experiments. *)
+let check_isomorphic ~expected ~actual =
+  if isomorphic expected actual then Ok ()
+  else
+    Error
+      (Fmt.str "graphs are not isomorphic@.expected:@.%a@.actual:@.%a"
+         Graph.pp expected Graph.pp actual)

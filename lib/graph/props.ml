@@ -1,0 +1,52 @@
+(** Property maps attached to nodes and relationships.
+
+    Following the paper's formalisation, the property function ι is total:
+    a key that is not stored maps to [null].  Consequently, storing [null]
+    under a key is the same as removing the key, and the map never holds
+    [null] values. *)
+
+open Cypher_util.Maps
+
+type t = Value.t Smap.t
+
+let empty : t = Smap.empty
+
+(** [get props k] is ι(entity, k): [Null] when the key is absent. *)
+let get (props : t) k =
+  match Smap.find_opt k props with Some v -> v | None -> Value.Null
+
+(** [set props k v] stores [v] under [k]; storing [Null] removes the key. *)
+let set (props : t) k v : t =
+  match v with Value.Null -> Smap.remove k props | v -> Smap.add k v props
+
+let remove (props : t) k : t = Smap.remove k props
+
+(** [of_list l] builds a property map, dropping [null]-valued pairs. *)
+let of_list l : t =
+  List.fold_left (fun acc (k, v) -> set acc k v) empty l
+
+let bindings (props : t) = Smap.bindings props
+let keys (props : t) = List.map fst (Smap.bindings props)
+let is_empty : t -> bool = Smap.is_empty
+
+(** [merge_into base extra] is the semantics of [SET n += map]: keys of
+    [extra] overwrite those of [base]; [null] values in [extra] remove. *)
+let merge_into (base : t) (extra : t) : t =
+  Smap.fold (fun k v acc -> set acc k v) extra base
+
+(** Strict equality of property maps (null-free by construction, so
+    structural equality of stored values suffices).  This is the equality
+    used by the collapsibility relation of Section 8.2: ι′(x1,k) =
+    ι′(x2,k) for every key k, where absent keys are null on both sides. *)
+let equal (p1 : t) (p2 : t) = smap_equal Value.equal_strict p1 p2
+
+let compare (p1 : t) (p2 : t) =
+  Smap.compare Value.compare_total p1 p2
+
+let to_value (props : t) = Value.Map props
+
+let pp ppf (props : t) =
+  Fmt.pf ppf "{%a}"
+    Fmt.(
+      list ~sep:(any ", ") (fun ppf (k, v) -> pf ppf "%s: %a" k Value.pp v))
+    (bindings props)

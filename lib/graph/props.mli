@@ -1,0 +1,40 @@
+(** Property maps attached to nodes and relationships.
+
+    Following the paper's formalisation, the property function ι is
+    total: a key that is not stored maps to [null].  Consequently,
+    storing [null] under a key is the same as removing the key, and the
+    map never holds [null] values. *)
+
+open Cypher_util.Maps
+
+type t = Value.t Smap.t
+
+val empty : t
+
+(** [get props k] is ι(entity, k): [Null] when the key is absent. *)
+val get : t -> string -> Value.t
+
+(** [set props k v] stores [v] under [k]; storing [Null] removes the
+    key. *)
+val set : t -> string -> Value.t -> t
+
+val remove : t -> string -> t
+
+(** [of_list l] builds a property map, dropping [null]-valued pairs. *)
+val of_list : (string * Value.t) list -> t
+
+val bindings : t -> (string * Value.t) list
+val keys : t -> string list
+val is_empty : t -> bool
+
+(** [merge_into base extra] is the semantics of [SET n += map]: keys of
+    [extra] overwrite those of [base]. *)
+val merge_into : t -> t -> t
+
+(** The equality used by the collapsibility relation of Section 8.2:
+    ι′(x1,k) = ι′(x2,k) for every key k, absent keys being null. *)
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+val to_value : t -> Value.t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,38 @@
+(** Kleene three-valued logic, used by Cypher predicates: comparisons
+    involving [null] evaluate to [Unknown] rather than a boolean. *)
+
+type t = True | False | Unknown
+
+let of_bool b = if b then True else False
+
+(** [to_bool_where t] is the truth value used for filtering in [WHERE]:
+    only [True] keeps a record; [False] and [Unknown] drop it. *)
+let to_bool_where = function True -> true | False | Unknown -> false
+
+let neg = function True -> False | False -> True | Unknown -> Unknown
+
+let conj a b =
+  match (a, b) with
+  | False, _ | _, False -> False
+  | True, True -> True
+  | Unknown, _ | _, Unknown -> Unknown
+
+let disj a b =
+  match (a, b) with
+  | True, _ | _, True -> True
+  | False, False -> False
+  | Unknown, _ | _, Unknown -> Unknown
+
+(** Exclusive or: unknown if either side is unknown. *)
+let xor a b =
+  match (a, b) with
+  | Unknown, _ | _, Unknown -> Unknown
+  | True, True | False, False -> False
+  | True, False | False, True -> True
+
+let equal (a : t) (b : t) = a = b
+
+let pp ppf = function
+  | True -> Fmt.string ppf "true"
+  | False -> Fmt.string ppf "false"
+  | Unknown -> Fmt.string ppf "unknown"

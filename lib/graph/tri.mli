@@ -1,0 +1,20 @@
+(** Kleene three-valued logic, used by Cypher predicates: comparisons
+    involving [null] evaluate to [Unknown] rather than a boolean. *)
+
+type t = True | False | Unknown
+
+val of_bool : bool -> t
+
+(** [to_bool_where t] is the truth value used for filtering in [WHERE]:
+    only [True] keeps a record; [False] and [Unknown] drop it. *)
+val to_bool_where : t -> bool
+
+val neg : t -> t
+val conj : t -> t -> t
+val disj : t -> t -> t
+
+(** Exclusive or: unknown if either side is unknown. *)
+val xor : t -> t -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

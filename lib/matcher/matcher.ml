@@ -1,0 +1,357 @@
+(** Pattern matching: the relation (p, G, u) ⊨ π of Section 8.1.
+
+    Matching extends a record (the assignment u) with bindings for the
+    pattern's variables, producing every extension that embeds the
+    pattern into the graph.  Cypher's *relationship isomorphism* is
+    enforced: distinct relationship patterns within one MATCH (across all
+    its comma-separated patterns) must bind distinct relationships —
+    including every edge traversed by a variable-length step (Section 2).
+
+    Property predicates in patterns use ternary equality, so a [null]
+    property value in a pattern never matches (Example 5's discipline). *)
+
+open Cypher_util.Maps
+open Cypher_graph
+open Cypher_table
+open Cypher_ast.Ast
+module Ctx = Cypher_eval.Ctx
+module Eval = Cypher_eval.Eval
+
+(** Which embeddings count as matches.  [Iso] is Cypher's relationship
+    isomorphism: distinct relationship patterns bind distinct
+    relationships.  [Homo] allows a relationship to be bound by several
+    pattern positions — the homomorphism-based regime the paper plans
+    for later Cypher versions (Section 6, Example 7).  Variable-length
+    steps keep their walks edge-distinct under both regimes, which is
+    the "suitable restriction to guarantee finite outputs". *)
+type mode = Iso | Homo
+
+(** Matching state: current bindings plus relationships already used by
+    this MATCH clause (only consulted under [Iso]). *)
+type state = { row : Record.t; used : Iset.t; mode : mode }
+
+let use_rel st id =
+  match st.mode with
+  | Iso -> { st with used = Iset.add id st.used }
+  | Homo -> st
+
+let rel_available st id =
+  match st.mode with Iso -> not (Iset.mem id st.used) | Homo -> true
+
+let eval_in ctx row e = Eval.eval (Ctx.with_row ctx row) e
+
+(** Does node [id] satisfy the label and property requirements of [np]
+    under the bindings of [row]?  Missing nodes never match. *)
+let node_satisfies (ctx : Ctx.t) row (np : node_pat) id =
+  match Graph.node ctx.graph id with
+  | None -> false
+  | Some n ->
+      List.for_all (fun l -> Sset.mem l n.Graph.labels) np.np_labels
+      && List.for_all
+           (fun (k, e) ->
+             let want = eval_in ctx row e in
+             Value.equal_tri (Props.get n.Graph.n_props k) want = Tri.True)
+           np.np_props
+
+let rel_satisfies (ctx : Ctx.t) row (rp : rel_pat) (r : Graph.rel) =
+  (match rp.rp_types with
+  | [] -> true
+  | types -> List.mem r.Graph.r_type types)
+  && List.for_all
+       (fun (k, e) ->
+         let want = eval_in ctx row e in
+         Value.equal_tri (Props.get r.Graph.r_props k) want = Tri.True)
+       rp.rp_props
+
+(** Binds [var] to [v] in [st], failing (None) on conflicting rebinding. *)
+let bind_var st var v =
+  match var with
+  | None -> Some st
+  | Some name -> (
+      match Record.find_opt st.row name with
+      | None -> Some { st with row = Record.bind st.row name v }
+      | Some existing ->
+          if Value.equal_strict existing v then Some st else None)
+
+(** Candidate nodes for a node pattern: the binding if the variable is
+    already bound, otherwise all graph nodes. *)
+let node_candidates st (np : node_pat) : Value.node_id list option =
+  match np.np_var with
+  | Some name -> (
+      match Record.find_opt st.row name with
+      | Some (Value.Node id) -> Some [ id ]
+      | Some Value.Null -> Some [] (* null binding never matches *)
+      | Some _ -> Some []
+      | None -> None)
+  | None -> None
+
+let match_node (ctx : Ctx.t) st (np : node_pat) : (state * Value.node_id) list =
+  let candidates =
+    match node_candidates st np with
+    | Some ids -> ids
+    | None -> (
+        (* anchor the scan on a label when the pattern carries one: the
+           store's label index avoids a full node sweep *)
+        match np.np_labels with
+        | [] -> Graph.node_ids ctx.graph
+        | label :: _ -> Graph.nodes_with_label ctx.graph label)
+  in
+  List.filter_map
+    (fun id ->
+      if node_satisfies ctx st.row np id then
+        Option.map
+          (fun st -> (st, id))
+          (bind_var st np.np_var (Value.Node id))
+      else None)
+    candidates
+
+(** Relationships leaving [src_id] compatible with the direction of
+    [rp]; each is paired with the node at the far end. *)
+let adjacent (g : Graph.t) src_id (dir : direction) : (Graph.rel * Value.node_id) list
+    =
+  let outs () =
+    List.map (fun (r : Graph.rel) -> (r, r.Graph.tgt)) (Graph.out_rels g src_id)
+  in
+  let ins () =
+    List.map (fun (r : Graph.rel) -> (r, r.Graph.src)) (Graph.in_rels g src_id)
+  in
+  match dir with
+  | Out -> outs ()
+  | In -> ins ()
+  | Undirected ->
+      (* a self-loop appears in both adjacency sets; deduplicate *)
+      let both = outs () @ ins () in
+      List.sort_uniq
+        (fun ((r1 : Graph.rel), n1) (r2, n2) ->
+          compare (r1.Graph.r_id, n1) (r2.Graph.r_id, n2))
+        both
+
+(** Matches a single (non-variable-length) relationship step from
+    [src_id], returning states extended with the relationship binding,
+    the far node id, and the traversed relationship. *)
+let match_single_rel (ctx : Ctx.t) st src_id (rp : rel_pat) :
+    (state * Value.node_id * Graph.rel) list =
+  let candidates = adjacent ctx.graph src_id rp.rp_dir in
+  List.filter_map
+    (fun ((r : Graph.rel), far) ->
+      if not (rel_available st r.Graph.r_id) then None
+      else if not (rel_satisfies ctx st.row rp r) then None
+      else
+        let st = use_rel st r.Graph.r_id in
+        Option.map
+          (fun st -> (st, far, r))
+          (bind_var st rp.rp_var (Value.Rel r.Graph.r_id)))
+    candidates
+
+(** Matches a variable-length step: all edge-distinct walks from
+    [src_id] whose length lies within the range.  The relationship
+    variable (if any) binds to the list of traversed relationships. *)
+let match_varlength (ctx : Ctx.t) st src_id (rp : rel_pat) lo hi :
+    (state * Value.node_id * Graph.rel list) list =
+  let results = ref [] in
+  (* [walk] keeps the walk's own edges distinct — under both matching
+     regimes, so that unbounded ranges stay finite *)
+  let rec explore st walk node rels_rev len =
+    if len >= lo then results := (st, node, List.rev rels_rev) :: !results;
+    if match hi with Some h -> len < h | None -> true then
+      List.iter
+        (fun ((r : Graph.rel), far) ->
+          if
+            (not (Iset.mem r.Graph.r_id walk))
+            && rel_available st r.Graph.r_id
+            && rel_satisfies ctx st.row rp r
+          then
+            explore
+              (use_rel st r.Graph.r_id)
+              (Iset.add r.Graph.r_id walk)
+              far (r :: rels_rev) (len + 1))
+        (adjacent ctx.graph node rp.rp_dir)
+  in
+  explore st Iset.empty src_id [] 0;
+  List.filter_map
+    (fun (st, far, rels) ->
+      let rel_list =
+        Value.List (List.map (fun (r : Graph.rel) -> Value.Rel r.Graph.r_id) rels)
+      in
+      Option.map (fun st -> (st, far, rels)) (bind_var st rp.rp_var rel_list))
+    (List.rev !results)
+
+(** Matches one whole path pattern starting from state [st]. *)
+let match_pattern (ctx : Ctx.t) st (p : pattern) : state list =
+  let starts = match_node ctx st p.pat_start in
+  let rec steps (st, node_id, nodes_rev, rels_rev) = function
+    | [] ->
+        (* bind the path variable when named *)
+        let path =
+          Value.Path
+            {
+              Value.path_nodes = List.rev nodes_rev;
+              path_rels = List.rev rels_rev;
+            }
+        in
+        Option.to_list (bind_var st p.pat_var path)
+    | (rp, np) :: rest ->
+        let hops =
+          match rp.rp_range with
+          | None ->
+              List.map
+                (fun (st, far, r) -> (st, far, [ r ]))
+                (match_single_rel ctx st node_id rp)
+          | Some (lo, hi) ->
+              let lo = Option.value ~default:1 lo in
+              match_varlength ctx st node_id rp lo hi
+        in
+        List.concat_map
+          (fun (st, far, rels) ->
+            match
+              if node_satisfies ctx st.row np far then
+                bind_var st np.np_var (Value.Node far)
+              else None
+            with
+            | None -> []
+            | Some st ->
+                steps
+                  ( st,
+                    far,
+                    far :: nodes_rev,
+                    List.rev_append
+                      (List.map (fun (r : Graph.rel) -> r.Graph.r_id) rels)
+                      rels_rev )
+                  rest)
+          hops
+  in
+  List.concat_map
+    (fun (st, start_id) -> steps (st, start_id, [ start_id ], []) p.pat_steps)
+    starts
+
+(** [match_patterns ?mode ctx patterns] computes all extensions of the
+    context row that embed every pattern; under the default [Iso] mode
+    relationship isomorphism is enforced across the whole pattern
+    tuple. *)
+let match_patterns ?(mode = Iso) (ctx : Ctx.t) (patterns : pattern list) :
+    Record.t list =
+  let init = { row = ctx.row; used = Iset.empty; mode } in
+  let states =
+    List.fold_left
+      (fun states p -> List.concat_map (fun st -> match_pattern ctx st p) states)
+      [ init ] patterns
+  in
+  List.map (fun st -> st.row) states
+
+(** [matches ?mode ctx patterns] decides (p, G, u) ⊨ π: is there at
+    least one embedding?  Used by MERGE to split the driving table. *)
+let matches ?mode ctx patterns = match_patterns ?mode ctx patterns <> []
+
+(* ------------------------------------------------------------------ *)
+(* Shortest paths                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** [shortest_paths ctx ~all pattern] evaluates
+    [shortestPath((a)-[:T*]->(b))] (and [allShortestPaths]): a BFS over
+    relationships satisfying the single variable-length step, between
+    two *bound* endpoints.  Returns a {!Value.Path} (or a list of paths
+    under [~all:true]); [Null] (or the empty list) when no path exists.
+    The zero-length path is a valid answer when the endpoints coincide
+    and the range admits length 0. *)
+let shortest_paths (ctx : Ctx.t) ~all (p : pattern) : Value.t =
+  let rp, end_np =
+    match p.pat_steps with
+    | [ (rp, np) ] when rp.rp_range <> None -> (rp, np)
+    | _ ->
+        Ctx.error
+          "shortestPath requires a single variable-length relationship \
+           pattern, e.g. shortestPath((a)-[:T*]->(b))"
+  in
+  let endpoint (np : node_pat) =
+    match np.np_var with
+    | Some v -> (
+        match Record.find_opt ctx.row v with
+        | Some (Value.Node id) -> Some id
+        | Some Value.Null -> None
+        | Some v ->
+            Ctx.error "shortestPath endpoint is not a node: %s"
+              (Value.to_string v)
+        | None ->
+            Ctx.error
+              "shortestPath endpoints must be bound (variable `%s` is not)" v)
+    | None -> Ctx.error "shortestPath endpoints must be named and bound"
+  in
+  match (endpoint p.pat_start, endpoint end_np) with
+  | None, _ | _, None -> Value.Null (* null endpoint: no path *)
+  | Some src, Some tgt -> (
+      let lo, hi =
+        match rp.rp_range with
+        | Some (lo, hi) -> (Option.value ~default:1 lo, hi)
+        | None -> assert false
+      in
+      (* BFS storing per-node predecessor lists so that all shortest
+         walks can be reconstructed *)
+      let preds : (int, (Graph.rel * int) list) Hashtbl.t = Hashtbl.create 16 in
+      let level : (int, int) Hashtbl.t = Hashtbl.create 16 in
+      Hashtbl.replace level src 0;
+      let queue = Queue.create () in
+      Queue.add src queue;
+      let found_depth = ref None in
+      let expand_from depth =
+        (match !found_depth with Some d -> depth < d | None -> true)
+        && match hi with Some h -> depth < h | None -> true
+      in
+      while not (Queue.is_empty queue) do
+        let node = Queue.pop queue in
+        let depth = Hashtbl.find level node in
+        if expand_from depth then
+          List.iter
+            (fun ((r : Graph.rel), far) ->
+              if rel_satisfies ctx ctx.row rp r then begin
+                (match Hashtbl.find_opt level far with
+                | None ->
+                    Hashtbl.replace level far (depth + 1);
+                    Hashtbl.replace preds far [ (r, node) ];
+                    Queue.add far queue
+                | Some d when d = depth + 1 ->
+                    Hashtbl.replace preds far
+                      ((r, node) :: Hashtbl.find preds far)
+                | Some _ -> ());
+                if far = tgt && depth + 1 >= lo && !found_depth = None then
+                  found_depth := Some (depth + 1)
+              end)
+            (adjacent ctx.graph node rp.rp_dir)
+      done;
+      (* all shortest walks as forward relationship-id lists *)
+      let rec walks_to node depth : Value.rel_id list list =
+        if depth = 0 then if node = src then [ [] ] else []
+        else
+          List.concat_map
+            (fun ((r : Graph.rel), prev) ->
+              if Hashtbl.find_opt level prev = Some (depth - 1) then
+                List.map
+                  (fun walk -> walk @ [ r.Graph.r_id ])
+                  (walks_to prev (depth - 1))
+              else [])
+            (match Hashtbl.find_opt preds node with Some l -> l | None -> [])
+      in
+      let rel_walks =
+        if src = tgt && lo = 0 then
+          (* the zero-length walk is trivially shortest *)
+          [ [] ]
+        else
+          match !found_depth with
+          | Some depth -> walks_to tgt depth
+          | None -> []
+      in
+      let to_path rels =
+        let nodes_rev =
+          List.fold_left
+            (fun acc rid ->
+              let r = Graph.rel_exn ctx.graph rid in
+              let last = List.hd acc in
+              let next = if r.Graph.src = last then r.Graph.tgt else r.Graph.src in
+              next :: acc)
+            [ src ] rels
+        in
+        { Value.path_nodes = List.rev nodes_rev; path_rels = rels }
+      in
+      let paths = List.map to_path rel_walks in
+      if all then Value.List (List.map (fun p -> Value.Path p) paths)
+      else
+        match paths with [] -> Value.Null | p :: _ -> Value.Path p)

@@ -1,0 +1,40 @@
+(** Pattern matching: the relation (p, G, u) ⊨ π of Section 8.1.
+
+    Matching extends a record (the assignment u) with bindings for the
+    pattern's variables, producing every extension that embeds the
+    pattern into the graph.
+
+    Property predicates in patterns use ternary equality, so a [null]
+    property value in a pattern never matches (Example 5's discipline). *)
+
+open Cypher_table
+open Cypher_ast.Ast
+
+(** Which embeddings count as matches.  [Iso] is Cypher's relationship
+    isomorphism: distinct relationship patterns bind distinct
+    relationships (Section 2).  [Homo] allows a relationship to be bound
+    by several pattern positions — the homomorphism-based regime the
+    paper plans for later Cypher versions (Section 6, Example 7).
+    Variable-length steps keep their walks edge-distinct under both
+    regimes ("suitable restrictions to guarantee finite outputs"). *)
+type mode = Iso | Homo
+
+(** [match_patterns ?mode ctx patterns] computes all extensions of the
+    context row that embed every pattern; under the default [Iso] mode
+    relationship isomorphism is enforced across the whole pattern
+    tuple. *)
+val match_patterns :
+  ?mode:mode -> Cypher_eval.Ctx.t -> pattern list -> Record.t list
+
+(** [matches ?mode ctx patterns] decides (p, G, u) ⊨ π: is there at
+    least one embedding?  Used by MERGE to split the driving table. *)
+val matches : ?mode:mode -> Cypher_eval.Ctx.t -> pattern list -> bool
+
+(** [shortest_paths ctx ~all pattern] evaluates
+    [shortestPath((a)-[:T*]->(b))] (and [allShortestPaths]): a BFS over
+    relationships satisfying the single variable-length step, between
+    two *bound* endpoints.  Returns a {!Cypher_graph.Value.Path} — or a
+    list of paths under [~all:true]; null (or the empty list) when no
+    path exists. *)
+val shortest_paths :
+  Cypher_eval.Ctx.t -> all:bool -> pattern -> Cypher_graph.Value.t

@@ -1,0 +1,53 @@
+(** The paper's reproducible artefacts, E1–E11 (see DESIGN.md §4).
+
+    Each experiment runs the paper's exact workload and checks the
+    outcome against the figure or described behaviour, mechanically
+    (graph isomorphism, error matching, or value comparison).  The
+    reports drive [bin/experiments.ml] and EXPERIMENTS.md; the test
+    suite asserts that every experiment passes. *)
+
+type report = {
+  id : string;
+  title : string;
+  paper_claim : string;  (** what the paper states should happen *)
+  observed : string;  (** what this implementation produced *)
+  passed : bool;
+}
+
+val e1 : unit -> report
+(** Queries (1)–(4) on the Figure 1 marketplace. *)
+
+val e2 : unit -> report
+(** Query (5): MERGE pairs every product with a vendor. *)
+
+val e3 : unit -> report
+(** Example 1: the SET id swap. *)
+
+val e4 : unit -> report
+(** Example 2: conflicting SET on dirty data. *)
+
+val e5 : unit -> report
+(** Section 4.2: DELETE then SET on the deleted node. *)
+
+val e6 : unit -> report
+(** Example 3 / Figure 6: legacy MERGE order dependence. *)
+
+val e7 : unit -> report
+(** Example 4: determinism of all five proposed MERGE semantics. *)
+
+val e8 : unit -> report
+(** Example 5 / Figure 7: duplicates and nulls. *)
+
+val e9 : unit -> report
+(** Example 6 / Figure 8: cross-position node collapse. *)
+
+val e10 : unit -> report
+(** Example 7 / Figure 9: relationship collapse and match-after-merge. *)
+
+val e11 : unit -> report
+(** Section 6 extension: homomorphism-based matching after MERGE. *)
+
+(** All experiments, in order. *)
+val all : unit -> report list
+
+val pp_report : Format.formatter -> report -> unit

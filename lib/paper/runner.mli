@@ -1,0 +1,26 @@
+(** Helpers to run paper experiments: executing a single (usually MERGE)
+    clause against an explicit graph–driving-table pair, the situation
+    all of the paper's Section 6 examples are stated in. *)
+
+open Cypher_graph
+open Cypher_table
+open Cypher_core
+
+(** [parse_clause src] parses a one-clause statement permissively.
+    @raise Failure on parse errors or multi-clause input. *)
+val parse_clause : string -> Cypher_ast.Ast.clause
+
+(** [run_clause config src (g, t)] executes the clause denoted by [src]
+    on the given graph–table pair. *)
+val run_clause :
+  Config.t -> string -> Graph.t * Table.t -> Graph.t * Table.t
+
+(** [run_merge_mode config ~mode src (g, t)] executes the MERGE clause
+    in [src] overriding its semantics with [mode] — this is how the
+    harness compares all five proposals on the same query text. *)
+val run_merge_mode :
+  Config.t -> mode:Cypher_ast.Ast.merge_mode -> string ->
+  Graph.t * Table.t -> Graph.t * Table.t
+
+(** Driving-table orders used to probe order (in)dependence. *)
+val probe_orders : Config.order list

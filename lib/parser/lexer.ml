@@ -1,0 +1,227 @@
+(** Hand-written lexer for Cypher.
+
+    Supports identifiers (plus backtick-quoted identifiers), integer and
+    float literals, single- and double-quoted strings with escapes,
+    [$param] parameters, comments ([// ...] and [/* ... */]), and the
+    punctuation of the grammars in Figures 2–5 and 10. *)
+
+type error = { message : string; line : int; col : int }
+
+let error_to_string e =
+  Printf.sprintf "lexical error at line %d, column %d: %s" e.line e.col
+    e.message
+
+exception Lex_error of error
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let fail st message = raise (Lex_error { message; line = st.line; col = st.col })
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_ws st
+  | Some '/' when peek2 st = Some '/' ->
+      while peek st <> None && peek st <> Some '\n' do
+        advance st
+      done;
+      skip_ws st
+  | Some '/' when peek2 st = Some '*' ->
+      advance st;
+      advance st;
+      let rec loop () =
+        match (peek st, peek2 st) with
+        | Some '*', Some '/' ->
+            advance st;
+            advance st
+        | None, _ -> fail st "unterminated comment"
+        | _ ->
+            advance st;
+            loop ()
+      in
+      loop ();
+      skip_ws st
+  | _ -> ()
+
+let lex_ident st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let lex_backtick_ident st =
+  advance st (* opening backtick *);
+  let buf = Buffer.create 8 in
+  let rec loop () =
+    match peek st with
+    | Some '`' -> advance st
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        loop ()
+    | None -> fail st "unterminated backtick identifier"
+  in
+  loop ();
+  Buffer.contents buf
+
+let lex_number st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_digit c | None -> false) do
+    advance st
+  done;
+  let is_float =
+    match (peek st, peek2 st) with
+    | Some '.', Some c when is_digit c ->
+        advance st;
+        while (match peek st with Some c -> is_digit c | None -> false) do
+          advance st
+        done;
+        true
+    | _ -> false
+  in
+  let is_float =
+    match peek st with
+    | Some ('e' | 'E') ->
+        advance st;
+        (match peek st with
+        | Some ('+' | '-') -> advance st
+        | _ -> ());
+        if not (match peek st with Some c -> is_digit c | None -> false) then
+          fail st "malformed float exponent";
+        while (match peek st with Some c -> is_digit c | None -> false) do
+          advance st
+        done;
+        true
+    | _ -> is_float
+  in
+  let text = String.sub st.src start (st.pos - start) in
+  if is_float then Token.Float (float_of_string text)
+  else Token.Int (int_of_string text)
+
+let lex_string st quote =
+  advance st (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> fail st "unterminated string literal"
+    | Some c when c = quote -> advance st
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | Some 'n' ->
+            Buffer.add_char buf '\n';
+            advance st;
+            loop ()
+        | Some 't' ->
+            Buffer.add_char buf '\t';
+            advance st;
+            loop ()
+        | Some 'r' ->
+            Buffer.add_char buf '\r';
+            advance st;
+            loop ()
+        | Some ('\\' | '\'' | '"' as c) ->
+            Buffer.add_char buf c;
+            advance st;
+            loop ()
+        | Some c -> fail st (Printf.sprintf "unknown escape '\\%c'" c)
+        | None -> fail st "unterminated string literal")
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let next_kind st : Token.kind =
+  match peek st with
+  | None -> Token.Eof
+  | Some c -> (
+      match c with
+      | c when is_ident_start c -> Token.Ident (lex_ident st)
+      | '`' -> Token.Ident (lex_backtick_ident st)
+      | c when is_digit c -> lex_number st
+      | '\'' | '"' -> Token.Str (lex_string st c)
+      | '$' ->
+          advance st;
+          if not (match peek st with Some c -> is_ident_start c | None -> false)
+          then fail st "expected parameter name after '$'";
+          Token.Param (lex_ident st)
+      | '(' -> advance st; Token.Lparen
+      | ')' -> advance st; Token.Rparen
+      | '[' -> advance st; Token.Lbracket
+      | ']' -> advance st; Token.Rbracket
+      | '{' -> advance st; Token.Lbrace
+      | '}' -> advance st; Token.Rbrace
+      | ':' -> advance st; Token.Colon
+      | ';' -> advance st; Token.Semi
+      | ',' -> advance st; Token.Comma
+      | '|' -> advance st; Token.Pipe
+      | '*' -> advance st; Token.Star
+      | '/' -> advance st; Token.Slash
+      | '%' -> advance st; Token.Percent
+      | '^' -> advance st; Token.Caret
+      | '.' ->
+          advance st;
+          if peek st = Some '.' then (advance st; Token.Dotdot) else Token.Dot
+      | '+' ->
+          advance st;
+          if peek st = Some '=' then (advance st; Token.Pluseq) else Token.Plus
+      | '-' ->
+          advance st;
+          if peek st = Some '>' then (advance st; Token.Arrow) else Token.Minus
+      | '=' -> advance st; Token.Eq
+      | '<' -> (
+          advance st;
+          match peek st with
+          | Some '=' -> advance st; Token.Le
+          | Some '>' -> advance st; Token.Neq
+          | Some '-' -> advance st; Token.Larrow
+          | _ -> Token.Lt)
+      | '>' ->
+          advance st;
+          if peek st = Some '=' then (advance st; Token.Ge) else Token.Gt
+      | c -> fail st (Printf.sprintf "unexpected character %C" c))
+
+(** [tokenize src] lexes a whole source string into a token list ending
+    with {!Token.Eof}. *)
+let tokenize src : (Token.t list, error) result =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let rec loop acc =
+    skip_ws st;
+    let line = st.line and col = st.col in
+    let kind = next_kind st in
+    let tok = { Token.kind; line; col } in
+    match kind with
+    | Token.Eof -> List.rev (tok :: acc)
+    | _ -> loop (tok :: acc)
+  in
+  try Ok (loop []) with Lex_error e -> Error e

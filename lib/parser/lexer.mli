@@ -1,0 +1,14 @@
+(** Hand-written lexer for Cypher.
+
+    Supports identifiers (plus backtick-quoted identifiers), integer and
+    float literals, single- and double-quoted strings with escapes,
+    [$param] parameters, comments, and the punctuation of the grammars
+    in Figures 2–5 and 10. *)
+
+type error = { message : string; line : int; col : int }
+
+val error_to_string : error -> string
+
+(** [tokenize src] lexes a whole source string into a token list ending
+    with {!Token.Eof}. *)
+val tokenize : string -> (Token.t list, error) result

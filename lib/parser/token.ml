@@ -1,0 +1,84 @@
+(** Lexical tokens.
+
+    Keywords are not distinguished at the lexical level: Cypher keywords
+    are case-insensitive and may appear as identifiers (labels, property
+    keys), so the parser decides from context whether an {!Ident} is a
+    keyword. *)
+
+type kind =
+  | Ident of string  (** identifier or (case-insensitive) keyword *)
+  | Int of int
+  | Float of float
+  | Str of string
+  | Param of string  (** [$name] *)
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Lbrace
+  | Rbrace
+  | Colon
+  | Semi
+  | Comma
+  | Dot
+  | Dotdot
+  | Pipe
+  | Plus
+  | Pluseq
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | Caret
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Arrow  (** [->] *)
+  | Larrow  (** [<-] *)
+  | Eof
+
+type t = { kind : kind; line : int; col : int }
+
+let describe = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Int i -> Printf.sprintf "integer %d" i
+  | Float f -> Printf.sprintf "float %g" f
+  | Str s -> Printf.sprintf "string %S" s
+  | Param s -> Printf.sprintf "parameter $%s" s
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Lbracket -> "'['"
+  | Rbracket -> "']'"
+  | Lbrace -> "'{'"
+  | Rbrace -> "'}'"
+  | Colon -> "':'"
+  | Semi -> "';'"
+  | Comma -> "','"
+  | Dot -> "'.'"
+  | Dotdot -> "'..'"
+  | Pipe -> "'|'"
+  | Plus -> "'+'"
+  | Pluseq -> "'+='"
+  | Minus -> "'-'"
+  | Star -> "'*'"
+  | Slash -> "'/'"
+  | Percent -> "'%'"
+  | Caret -> "'^'"
+  | Eq -> "'='"
+  | Neq -> "'<>'"
+  | Lt -> "'<'"
+  | Le -> "'<='"
+  | Gt -> "'>'"
+  | Ge -> "'>='"
+  | Arrow -> "'->'"
+  | Larrow -> "'<-'"
+  | Eof -> "end of input"
+
+(** Case-insensitive keyword test. *)
+let is_kw kind kw =
+  match kind with
+  | Ident s -> String.uppercase_ascii s = kw
+  | _ -> false

@@ -1,0 +1,49 @@
+(** Lexical tokens.
+
+    Keywords are not distinguished at the lexical level: Cypher keywords
+    are case-insensitive and may appear as identifiers (labels, property
+    keys), so the parser decides from context whether an {!kind.Ident}
+    is a keyword. *)
+
+type kind =
+  | Ident of string  (** identifier or (case-insensitive) keyword *)
+  | Int of int
+  | Float of float
+  | Str of string
+  | Param of string  (** [$name] *)
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Lbrace
+  | Rbrace
+  | Colon
+  | Semi
+  | Comma
+  | Dot
+  | Dotdot
+  | Pipe
+  | Plus
+  | Pluseq
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | Caret
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Arrow  (** [->] *)
+  | Larrow  (** [<-] *)
+  | Eof
+
+type t = { kind : kind; line : int; col : int }
+
+(** Human-readable token description for error messages. *)
+val describe : kind -> string
+
+(** Case-insensitive keyword test against an uppercase keyword name. *)
+val is_kw : kind -> string -> bool

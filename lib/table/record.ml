@@ -1,0 +1,44 @@
+(** Records: the rows of driving tables.
+
+    A record is a key–value map from variable names to Cypher values.
+    In Cypher the records of a table are *consistent*: they share the same
+    set of keys (the table's columns); {!Table} maintains that invariant. *)
+
+open Cypher_util.Maps
+open Cypher_graph
+
+type t = Value.t Smap.t
+
+let empty : t = Smap.empty
+let bind (r : t) name v : t = Smap.add name v r
+let find_opt (r : t) name = Smap.find_opt name r
+
+(** [find r name] is the value bound to [name], or [Null] when absent
+    (used for consistency padding, e.g. by OPTIONAL MATCH or UNION). *)
+let find (r : t) name =
+  match Smap.find_opt name r with Some v -> v | None -> Value.Null
+
+let mem (r : t) name = Smap.mem name r
+let remove (r : t) name : t = Smap.remove name r
+let keys (r : t) = List.map fst (Smap.bindings r)
+let bindings (r : t) = Smap.bindings r
+let of_list l : t = smap_of_list l
+
+(** [project r names] keeps only the bindings for [names], padding missing
+    ones with [Null]. *)
+let project (r : t) names : t =
+  List.fold_left (fun acc name -> Smap.add name (find r name) acc) empty names
+
+(** [map_values f r] rewrites every bound value (used to replace deleted
+    entities by nulls, and to rewrite collapsed ids after MERGE SAME). *)
+let map_values f (r : t) : t = Smap.map f r
+
+let equal (r1 : t) (r2 : t) = smap_equal Value.equal_strict r1 r2
+
+let compare (r1 : t) (r2 : t) = Smap.compare Value.compare_total r1 r2
+
+let pp ppf (r : t) =
+  Fmt.pf ppf "(%a)"
+    Fmt.(
+      list ~sep:(any ", ") (fun ppf (k, v) -> pf ppf "%s: %a" k Value.pp v))
+    (bindings r)

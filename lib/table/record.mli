@@ -1,0 +1,37 @@
+(** Records: the rows of driving tables.
+
+    A record is a key–value map from variable names to Cypher values.
+    In Cypher the records of a table are *consistent*: they share the
+    same set of keys (the table's columns); {!Table} maintains that
+    invariant. *)
+
+open Cypher_util.Maps
+open Cypher_graph
+
+type t = Value.t Smap.t
+
+val empty : t
+val bind : t -> string -> Value.t -> t
+val find_opt : t -> string -> Value.t option
+
+(** [find r name] is the value bound to [name], or [Null] when absent
+    (used for consistency padding, e.g. by OPTIONAL MATCH or UNION). *)
+val find : t -> string -> Value.t
+
+val mem : t -> string -> bool
+val remove : t -> string -> t
+val keys : t -> string list
+val bindings : t -> (string * Value.t) list
+val of_list : (string * Value.t) list -> t
+
+(** [project r names] keeps only the bindings for [names], padding
+    missing ones with [Null]. *)
+val project : t -> string list -> t
+
+(** [map_values f r] rewrites every bound value (used to replace deleted
+    entities by nulls, and to rewrite collapsed ids after MERGE SAME). *)
+val map_values : (Value.t -> Value.t) -> t -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,105 @@
+(** Driving tables: bags of consistent records.
+
+    A table is a multiset of records over a fixed column set; the row list
+    is the bag (duplicates matter).  Row order is semantically irrelevant
+    in Cypher — the paper's point is precisely that legacy updates leak
+    it — so this module also provides explicit reorderings used to
+    exhibit that leakage. *)
+
+open Cypher_graph
+
+type t = { columns : string list; rows : Record.t list }
+
+(** The unit table T(): one empty record, no columns — the input to every
+    statement (Section 8.1). *)
+let unit = { columns = []; rows = [ Record.empty ] }
+
+(** The empty table: no rows at all. *)
+let empty_over columns = { columns; rows = [] }
+
+let columns t = t.columns
+let rows t = t.rows
+let row_count t = List.length t.rows
+let is_empty t = t.rows = []
+
+let dedup_columns columns =
+  let rec loop acc = function
+    | [] -> List.rev acc
+    | c :: rest ->
+        if List.mem c acc then loop acc rest else loop (c :: acc) rest
+  in
+  loop [] columns
+
+(** [make columns rows] builds a table, padding every record to exactly
+    [columns] (missing bindings become null, extra bindings are dropped)
+    so the consistency invariant holds.  Column order is preserved
+    (first occurrence wins on duplicates). *)
+let make columns rows =
+  let columns = dedup_columns columns in
+  { columns; rows = List.map (fun r -> Record.project r columns) rows }
+
+(** [of_rows rows] infers the column set as the union of all keys. *)
+let of_rows rows =
+  let columns = dedup_columns (List.concat_map Record.keys rows) in
+  make columns rows
+
+let map f t = { t with rows = List.map f t.rows }
+
+(** [concat_map columns f t] expands every row into several rows; the new
+    column set must be supplied since expansion may bind new variables. *)
+let concat_map columns f t = make columns (List.concat_map f t.rows)
+
+let filter p t = { t with rows = List.filter p t.rows }
+
+let fold f t acc = List.fold_left (fun acc r -> f r acc) acc t.rows
+
+(** Bag union ⊎: duplicates add up; the column sets are unified with null
+    padding (used by UNION ALL and by MERGE's Tmatch ⊎ Tcreate). *)
+let bag_union t1 t2 =
+  let columns = dedup_columns (t1.columns @ t2.columns) in
+  make columns (t1.rows @ t2.rows)
+
+(** Set union: bag union followed by duplicate elimination (UNION).
+    First-occurrence order of rows is preserved. *)
+let distinct t =
+  let rec dedup acc = function
+    | [] -> List.rev acc
+    | r :: rest ->
+        if List.exists (fun r' -> Record.compare r r' = 0) acc then
+          dedup acc rest
+        else dedup (r :: acc) rest
+  in
+  { t with rows = dedup [] t.rows }
+
+let union t1 t2 = distinct (bag_union t1 t2)
+
+(** [project names t] is the projection π_names(t) (bag semantics: row
+    count is preserved). *)
+let project names t = make names t.rows
+
+let order_by cmp t = { t with rows = List.stable_sort cmp t.rows }
+
+let skip n t = { t with rows = Cypher_util.Listx.drop n t.rows }
+let limit n t = { t with rows = Cypher_util.Listx.take n t.rows }
+
+(** Reorderings used by the order-dependence experiments (E6, E7). *)
+let reverse t = { t with rows = List.rev t.rows }
+
+let permute_seed seed t =
+  { t with rows = Cypher_util.Listx.permutation_of_seed seed t.rows }
+
+let equal_as_bags t1 t2 =
+  List.sort Record.compare t1.rows = List.sort Record.compare t2.rows
+  && t1.columns = t2.columns
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>| %a |" Fmt.(list ~sep:(any " | ") string) t.columns;
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "@,| %a |"
+        Fmt.(list ~sep:(any " | ") Value.pp)
+        (List.map (Record.find r) t.columns))
+    t.rows;
+  Fmt.pf ppf "@]"
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,18 @@
+(** Shared map and set instantiations used across all layers. *)
+
+module Smap = Map.Make (String)
+module Sset = Set.Make (String)
+module Imap = Map.Make (Int)
+module Iset = Set.Make (Int)
+
+(** [smap_of_list l] builds a string map from an association list; later
+    bindings shadow earlier ones. *)
+let smap_of_list l =
+  List.fold_left (fun m (k, v) -> Smap.add k v m) Smap.empty l
+
+(** [smap_equal eq m1 m2] compares two string maps for equality of their
+    bindings using [eq] on values. *)
+let smap_equal eq m1 m2 = Smap.equal eq m1 m2
+
+(** [sset_of_list l] builds a string set from a list. *)
+let sset_of_list = Sset.of_list

@@ -1,0 +1,16 @@
+(** Shared map and set instantiations used across all layers. *)
+
+module Smap : Map.S with type key = string
+module Sset : Set.S with type elt = string
+module Imap : Map.S with type key = int
+module Iset : Set.S with type elt = int
+
+(** [smap_of_list l] builds a string map from an association list; later
+    bindings shadow earlier ones. *)
+val smap_of_list : (string * 'a) list -> 'a Smap.t
+
+(** [smap_equal eq m1 m2] compares two string maps for equality of their
+    bindings using [eq] on values. *)
+val smap_equal : ('a -> 'a -> bool) -> 'a Smap.t -> 'a Smap.t -> bool
+
+val sset_of_list : string list -> Sset.t

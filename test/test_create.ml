@@ -1,0 +1,99 @@
+(** The CREATE clause: instantiation, variable reuse, per-record
+    creation, saturation of anonymous elements. *)
+
+open Cypher_graph
+open Cypher_table
+open Test_util
+module Api = Cypher_core.Api
+module Errors = Cypher_core.Errors
+
+let suite =
+  [
+    case "creates labeled nodes with properties" (fun () ->
+        let g = graph_of "CREATE (:A:B {x: 1, y: 'z'})" in
+        Alcotest.(check int) "one node" 1 (Graph.node_count g);
+        let n = List.hd (Graph.nodes g) in
+        Alcotest.(check (list string)) "labels" [ "A"; "B" ]
+          (Graph.labels_of g n.Graph.n_id);
+        check_value "x" (vint 1) (Props.get n.Graph.n_props "x"));
+    case "creates whole paths" (fun () ->
+        let g = graph_of "CREATE (:A)-[:T {w: 1}]->(:B)<-[:U]-(:C)" in
+        Alcotest.(check int) "nodes" 3 (Graph.node_count g);
+        Alcotest.(check int) "rels" 2 (Graph.rel_count g);
+        (* <-[:U]- points from C to B *)
+        let u = List.find (fun (r : Graph.rel) -> r.Graph.r_type = "U") (Graph.rels g) in
+        Alcotest.(check (list string)) "U source is C" [ "C" ]
+          (Graph.labels_of g u.Graph.src));
+    case "null-valued properties are not stored" (fun () ->
+        let g = graph_of "CREATE (:A {x: null, y: 1})" in
+        let n = List.hd (Graph.nodes g) in
+        Alcotest.(check (list string)) "only y" [ "y" ] (Props.keys n.Graph.n_props));
+    case "one instance per driving-table record" (fun () ->
+        let g =
+          run_graph Graph.empty "UNWIND [1, 2, 3] AS x CREATE (:N {v: x})"
+        in
+        Alcotest.(check int) "three nodes" 3 (Graph.node_count g));
+    case "bound variables are reused, not recreated" (fun () ->
+        let g =
+          run_graph Graph.empty
+            "CREATE (a:A) WITH a CREATE (a)-[:T]->(:B), (a)-[:U]->(:C)"
+        in
+        Alcotest.(check int) "nodes" 3 (Graph.node_count g);
+        let a =
+          List.find (fun (n : Graph.node) -> Graph.has_label g n.Graph.n_id "A")
+            (Graph.nodes g)
+        in
+        Alcotest.(check int) "a has two outgoing" 2
+          (List.length (Graph.out_rels g a.Graph.n_id)));
+    case "bound variable with labels in CREATE is an error" (fun () ->
+        match run_err Graph.empty "CREATE (a:A) WITH a CREATE (a:B)" with
+        | Errors.Update_error _ -> ()
+        | e -> Alcotest.failf "wrong error: %s" (Errors.to_string e));
+    case "creating through a null binding is an error" (fun () ->
+        match
+          run_err Graph.empty "OPTIONAL MATCH (a:Missing) CREATE (a)-[:T]->(:B)"
+        with
+        | Errors.Update_error _ -> ()
+        | e -> Alcotest.failf "wrong error: %s" (Errors.to_string e));
+    case "relationship variables must be fresh" (fun () ->
+        match
+          run_err Graph.empty
+            "CREATE (:A)-[r:T]->(:B) WITH r MATCH (c:B) CREATE (c)-[r:U]->(:D)"
+        with
+        | Errors.Update_error _ -> ()
+        | e -> Alcotest.failf "wrong error: %s" (Errors.to_string e));
+    case "created bindings flow into later clauses" (fun () ->
+        let t =
+          run_table Graph.empty "CREATE (a:A {x: 5})-[r:T {w: 2}]->(b:B) \
+                                 RETURN a.x, r.w, labels(b)"
+        in
+        let row = List.hd (Table.rows t) in
+        check_value "a.x" (vint 5) (Record.find row "a.x");
+        check_value "r.w" (vint 2) (Record.find row "r.w");
+        check_value "labels" (vlist [ vstr "B" ]) (Record.find row "labels(b)"));
+    case "property expressions may use earlier pattern variables" (fun () ->
+        let t =
+          run_table Graph.empty
+            "CREATE (a:A {x: 5})-[:T]->(b:B {y: a.x + 1}) RETURN b.y"
+        in
+        check_value "derived" (vint 6) (first_cell t));
+    case "named path binding from CREATE" (fun () ->
+        let t =
+          run_table Graph.empty
+            "CREATE p = (:A)-[:T]->(:B) RETURN length(p) AS l"
+        in
+        check_value "length" (vint 1) (first_cell t));
+    case "multiple patterns in one CREATE share bindings" (fun () ->
+        let g = graph_of "CREATE (a:A), (a)-[:T]->(b:B), (b)-[:U]->(a)" in
+        Alcotest.(check int) "nodes" 2 (Graph.node_count g);
+        Alcotest.(check int) "rels" 2 (Graph.rel_count g));
+    case "CREATE on the unit table creates exactly once" (fun () ->
+        let g = graph_of "CREATE (:Only)" in
+        Alcotest.(check int) "one" 1 (Graph.node_count g));
+    case "CREATE after filtering WHERE creates per surviving row" (fun () ->
+        let g =
+          run_graph Graph.empty
+            "UNWIND [1, 2, 3, 4] AS x WITH x WHERE x % 2 = 0 CREATE (:Even {v: x})"
+        in
+        Alcotest.(check int) "two" 2 (Graph.node_count g));
+  ]

@@ -1,0 +1,75 @@
+(** The CSV substrate: parsing, typing, driving-table conversion,
+    round-trip. *)
+
+open Cypher_graph
+open Cypher_table
+open Cypher_csv
+open Test_util
+
+let suite =
+  [
+    case "basic parsing" (fun () ->
+        Alcotest.(check (list (list string)))
+          "rows"
+          [ [ "a"; "b" ]; [ "1"; "2" ] ]
+          (Csv.parse_string "a,b\n1,2\n"));
+    case "quoted fields with commas, quotes and newlines" (fun () ->
+        Alcotest.(check (list (list string)))
+          "rows"
+          [ [ "x,y"; "he said \"hi\""; "two\nlines" ] ]
+          (Csv.parse_string "\"x,y\",\"he said \"\"hi\"\"\",\"two\nlines\"\n"));
+    case "crlf line endings" (fun () ->
+        Alcotest.(check (list (list string)))
+          "rows" [ [ "a" ]; [ "b" ] ] (Csv.parse_string "a\r\nb\r\n"));
+    case "missing trailing newline" (fun () ->
+        Alcotest.(check (list (list string)))
+          "rows" [ [ "a" ]; [ "b" ] ] (Csv.parse_string "a\nb"));
+    case "field typing" (fun () ->
+        check_value "int" (vint 42) (Csv.type_field "42");
+        check_value "float" (Value.Float 2.5) (Csv.type_field "2.5");
+        check_value "bool" (vbool true) (Csv.type_field "true");
+        check_value "null" vnull (Csv.type_field "");
+        check_value "explicit null" vnull (Csv.type_field "null");
+        check_value "string" (vstr "abc") (Csv.type_field "abc"));
+    case "table conversion with header" (fun () ->
+        let t = Csv.table_of_string "cid,pid\n98,125\n99,\n" in
+        Alcotest.(check (list string)) "columns" [ "cid"; "pid" ] (Table.columns t);
+        check_rows "two rows" 2 t;
+        let second = List.nth (Table.rows t) 1 in
+        check_value "empty is null" vnull (Record.find second "pid"));
+    case "untyped mode keeps strings" (fun () ->
+        let t = Csv.table_of_string ~typed:false "a\n42\n" in
+        check_value "string kept" (vstr "42")
+          (Record.find (List.hd (Table.rows t)) "a"));
+    case "ragged rows are rejected" (fun () ->
+        match Csv.table_of_string "a,b\n1\n" with
+        | exception Csv.Csv_error _ -> ()
+        | _ -> Alcotest.fail "should have raised");
+    case "render round-trip" (fun () ->
+        let t = Csv.table_of_string "a,b\n1,x\n,true\n" in
+        let t2 = Csv.table_of_string (Csv.to_string t) in
+        Alcotest.(check bool) "same bag" true (Table.equal_as_bags t t2));
+    case "unterminated quote is an error" (fun () ->
+        match Csv.parse_string "\"oops" with
+        | exception Csv.Csv_error _ -> ()
+        | _ -> Alcotest.fail "should have raised");
+  ]
+
+let file_tests =
+  [
+    case "table_of_file reads from disk" (fun () ->
+        let path = Filename.temp_file "cypher_csv" ".csv" in
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc "a,b\n1,x\n2,\n");
+        let t = Csv.table_of_file path in
+        Sys.remove path;
+        check_rows "rows" 2 t;
+        Alcotest.(check (list string)) "columns" [ "a"; "b" ] (Table.columns t));
+    case "example orders.csv loads" (fun () ->
+        if Sys.file_exists "../../examples/data/orders.csv" then
+          let t = Csv.table_of_file "../../examples/data/orders.csv" in
+          Alcotest.(check bool) "has rows" true (Table.row_count t > 0)
+        else ());
+  ]
+
+let suite = suite @ file_tests

@@ -1,0 +1,85 @@
+(** Error reporting: every typed error constructor is reachable, carries
+    useful payload, and renders a readable message. *)
+
+open Cypher_graph
+open Test_util
+module Api = Cypher_core.Api
+module Config = Cypher_core.Config
+module Errors = Cypher_core.Errors
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec loop i = i + m <= n && (String.sub s i m = sub || loop (i + 1)) in
+  m = 0 || loop 0
+
+let check_msg name needle e =
+  let msg = Errors.to_string e in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %S in %S" name needle msg)
+    true (contains msg needle)
+
+let suite =
+  [
+    case "Parse_error carries position and expectation" (fun () ->
+        match Api.run_string Graph.empty "MATCH (n RETURN n" with
+        | Error (Errors.Parse_error m) ->
+            Alcotest.(check bool) "line" true (contains m "line 1");
+            Alcotest.(check bool) "expected" true (contains m "expected")
+        | _ -> Alcotest.fail "expected a parse error");
+    case "Validation_error explains the dialect rule" (fun () ->
+        check_msg "plain merge" "MERGE ALL or MERGE SAME"
+          (run_err Graph.empty "MERGE (:X)");
+        check_msg "cypher9 WITH rule" "WITH"
+          (run_err ~config:Config.cypher9 Graph.empty
+             "CREATE (n:X) MATCH (m) RETURN m"));
+    case "Eval_error names the variable or function" (fun () ->
+        check_msg "unknown variable" "`nope`" (run_err Graph.empty "RETURN nope");
+        check_msg "unknown function" "frob" (run_err Graph.empty "RETURN frob(1)");
+        check_msg "missing parameter" "$absent"
+          (run_err Graph.empty "RETURN $absent"));
+    case "Set_conflict shows both values" (fun () ->
+        let g = graph_of "CREATE (:T), (:S {v: 1}), (:S {v: 2})" in
+        match run_err g "MATCH (t:T), (s:S) SET t.v = s.v" with
+        | Errors.Set_conflict { key; value1; value2; _ } as e ->
+            Alcotest.(check string) "key" "v" key;
+            Alcotest.(check bool) "values differ" false
+              (Value.equal_strict value1 value2);
+            check_msg "message" "would be set to both" e
+        | e -> Alcotest.failf "wrong error: %s" (Errors.to_string e));
+    case "Delete_dangling lists the offending relationships" (fun () ->
+        let g = graph_of "CREATE (:A)-[:T]->(:B), (:A2)-[:U]->(:B2)" in
+        match run_err g "MATCH (a:A) DELETE a" with
+        | Errors.Delete_dangling { rels = [ _ ]; _ } as e ->
+            check_msg "hint" "DETACH DELETE" e
+        | e -> Alcotest.failf "wrong error: %s" (Errors.to_string e));
+    case "Statement_dangling fires at the statement boundary" (fun () ->
+        let g = graph_of "CREATE (:A)-[:T]->(:B)" in
+        match
+          Api.run_string ~config:Config.cypher9 g "MATCH (a:A) DELETE a"
+        with
+        | Error (Errors.Statement_dangling _ as e) ->
+            check_msg "message" "dangling" e
+        | Error e -> Alcotest.failf "wrong error: %s" (Errors.to_string e)
+        | Ok _ -> Alcotest.fail "should have failed");
+    case "Update_error explains bound-variable misuse" (fun () ->
+        check_msg "create bound" "already bound"
+          (run_err Graph.empty "CREATE (a:A) WITH a CREATE (a:B)");
+        check_msg "merge null" "null"
+          (run_err Graph.empty
+             "OPTIONAL MATCH (m:Gone) MERGE ALL (m)-[:T]->(:X)"));
+    case "failed statements do not change the graph" (fun () ->
+        let g = graph_of "CREATE (:Keep)" in
+        (match Api.run_string g "MATCH (k:Keep) CREATE (:New) WITH k RETURN boom" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "should have failed");
+        (* the API is functional: the original graph value is untouched *)
+        Alcotest.(check int) "unchanged" 1 (Graph.node_count g));
+    case "lexer errors surface as parse errors with position" (fun () ->
+        match Api.run_string Graph.empty "RETURN @" with
+        | Error (Errors.Parse_error m) ->
+            Alcotest.(check bool) "column" true (contains m "column")
+        | _ -> Alcotest.fail "expected a parse error");
+    case "aggregates in WHERE are rejected with a clear message" (fun () ->
+        check_msg "agg in where" "RETURN/WITH"
+          (run_err (graph_of "CREATE (:P)") "MATCH (p:P) WHERE count(*) > 0 RETURN p"));
+  ]

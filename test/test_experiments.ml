@@ -1,0 +1,19 @@
+(** Every paper experiment must reproduce (E1–E10, DESIGN.md §4). *)
+
+open Cypher_paper
+open Test_util
+
+let suite =
+  List.map
+    (fun make ->
+      let r = make () in
+      case (r.Experiments.id ^ ": " ^ r.Experiments.title) (fun () ->
+          let r = make () in
+          if not r.Experiments.passed then
+            Alcotest.failf "experiment %s does not reproduce the paper:\n%s"
+              r.Experiments.id r.Experiments.observed))
+    [
+      Experiments.e1; Experiments.e2; Experiments.e3; Experiments.e4;
+      Experiments.e5; Experiments.e6; Experiments.e7; Experiments.e8;
+      Experiments.e9; Experiments.e10; Experiments.e11;
+    ]

@@ -1,0 +1,81 @@
+(** FOREACH: per-element update execution, nesting, scoping. *)
+
+open Cypher_graph
+open Test_util
+module Errors = Cypher_core.Errors
+
+let suite =
+  [
+    case "creates one entity per element" (fun () ->
+        let g = run_graph Graph.empty "FOREACH (x IN [1, 2, 3] | CREATE (:N {v: x}))" in
+        Alcotest.(check int) "three" 3 (Graph.node_count g));
+    case "loop variable does not leak" (fun () ->
+        match run_err Graph.empty "FOREACH (x IN [1] | CREATE (:N)) RETURN x" with
+        | Errors.Eval_error _ -> ()
+        | e -> Alcotest.failf "wrong error: %s" (Errors.to_string e));
+    case "body sees outer bindings" (fun () ->
+        let g =
+          run_graph Graph.empty
+            "CREATE (a:Hub) WITH a FOREACH (x IN [1, 2] | CREATE (a)-[:T]->(:Leaf {v: x}))"
+        in
+        Alcotest.(check int) "rels from hub" 2 (Graph.rel_count g));
+    case "runs per driving-table record" (fun () ->
+        let g =
+          run_graph Graph.empty
+            "UNWIND [1, 2] AS row FOREACH (x IN [1, 2] | CREATE (:N))"
+        in
+        Alcotest.(check int) "2x2" 4 (Graph.node_count g));
+    case "null list is a no-op" (fun () ->
+        let g = run_graph Graph.empty "FOREACH (x IN null | CREATE (:N))" in
+        Alcotest.(check int) "none" 0 (Graph.node_count g));
+    case "non-list source is an error" (fun () ->
+        match run_err Graph.empty "FOREACH (x IN 42 | CREATE (:N))" with
+        | Errors.Eval_error _ -> ()
+        | e -> Alcotest.failf "wrong error: %s" (Errors.to_string e));
+    case "nested FOREACH" (fun () ->
+        let g =
+          run_graph Graph.empty
+            "FOREACH (x IN [1, 2] | FOREACH (y IN [1, 2, 3] | CREATE (:N {x: x, y: y})))"
+        in
+        Alcotest.(check int) "2x3" 6 (Graph.node_count g));
+    case "SET inside FOREACH follows the configured regime" (fun () ->
+        let g = graph_of "CREATE (:N {v: 0})" in
+        let g = run_graph g "MATCH (n:N) FOREACH (x IN [5] | SET n.v = x)" in
+        let n = List.hd (Graph.nodes g) in
+        check_value "set" (vint 5) (Props.get n.Graph.n_props "v"));
+    case "DELETE inside FOREACH" (fun () ->
+        let g = graph_of "CREATE (:N), (:N)" in
+        let g =
+          run_graph g
+            "MATCH (n:N) WITH collect(n) AS ns FOREACH (n IN ns | DETACH DELETE n)"
+        in
+        Alcotest.(check int) "emptied" 0 (Graph.node_count g));
+    case "the driving table passes through unchanged" (fun () ->
+        let t =
+          run_table Graph.empty
+            "UNWIND [1, 2] AS x FOREACH (y IN [1] | CREATE (:N)) RETURN x"
+        in
+        check_rows "two rows" 2 t);
+  ]
+
+let merge_in_foreach_tests =
+  [
+    case "MERGE inside FOREACH follows the clause's own mode" (fun () ->
+        let g =
+          run_graph Graph.empty
+            "FOREACH (x IN [1, 1, 2] | MERGE SAME (:K {v: x}))"
+        in
+        (* each element runs its own MERGE SAME on the current graph:
+           the second 1 matches what the first created *)
+        Alcotest.(check int) "two nodes" 2 (Graph.node_count g));
+    case "REMOVE inside FOREACH" (fun () ->
+        let g = graph_of "CREATE (:N {a: 1, b: 2})" in
+        let g =
+          run_graph g "MATCH (n:N) FOREACH (k IN ['a', 'b'] | REMOVE n.a)"
+        in
+        let n = List.hd (Graph.nodes g) in
+        Alcotest.(check (list string)) "only b" [ "b" ]
+          (Props.keys n.Graph.n_props));
+  ]
+
+let suite = suite @ merge_in_foreach_tests

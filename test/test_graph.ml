@@ -1,0 +1,158 @@
+(** The property-graph store: construction, adjacency, deletion flavours,
+    tombstones and the dangling-relationship diagnostics. *)
+
+open Cypher_graph
+open Test_util
+
+let two_nodes_one_rel () =
+  let a, g = Graph.create_node ~labels:[ "A" ] Graph.empty in
+  let b, g = Graph.create_node ~labels:[ "B" ] g in
+  let r, g = Graph.create_rel ~src:a ~tgt:b ~r_type:"T" g in
+  (g, a, b, r)
+
+let suite =
+  [
+    case "create_node assigns fresh ids" (fun () ->
+        let a, g = Graph.create_node Graph.empty in
+        let b, g = Graph.create_node g in
+        Alcotest.(check bool) "distinct" true (a <> b);
+        Alcotest.(check int) "count" 2 (Graph.node_count g));
+    case "labels and properties are stored" (fun () ->
+        let props = Props.of_list [ ("x", vint 7) ] in
+        let a, g = Graph.create_node ~labels:[ "L1"; "L2" ] ~props Graph.empty in
+        Alcotest.(check (list string)) "labels" [ "L1"; "L2" ] (Graph.labels_of g a);
+        check_value "prop" (vint 7) (Props.get (Graph.node_props_of g a) "x"));
+    case "create_rel wires adjacency" (fun () ->
+        let g, a, b, r = two_nodes_one_rel () in
+        Alcotest.(check int) "out degree a" 1 (List.length (Graph.out_rels g a));
+        Alcotest.(check int) "in degree b" 1 (List.length (Graph.in_rels g b));
+        Alcotest.(check int) "rel id" r (List.hd (Graph.out_rels g a)).Graph.r_id);
+    case "create_rel rejects missing endpoints" (fun () ->
+        let a, g = Graph.create_node Graph.empty in
+        Alcotest.check_raises "missing target"
+          (Invalid_argument "Graph.create_rel: no target node 99") (fun () ->
+            ignore (Graph.create_rel ~src:a ~tgt:99 ~r_type:"T" g)));
+    case "strict remove_node refuses attached relationships" (fun () ->
+        let g, a, _, r = two_nodes_one_rel () in
+        match Graph.remove_node g a with
+        | Ok _ -> Alcotest.fail "should have refused"
+        | Error attached ->
+            Alcotest.(check (list int)) "attached" [ r ]
+              (List.map (fun (x : Graph.rel) -> x.Graph.r_id) attached));
+    case "strict remove_node succeeds after removing the relationship" (fun () ->
+        let g, a, _, r = two_nodes_one_rel () in
+        let g = Graph.remove_rel g r in
+        match Graph.remove_node g a with
+        | Ok g ->
+            Alcotest.(check int) "one node left" 1 (Graph.node_count g);
+            Alcotest.(check bool) "wellformed" true (Graph.is_wellformed g)
+        | Error _ -> Alcotest.fail "should have succeeded");
+    case "force removal leaves dangling relationships" (fun () ->
+        let g, a, _, r = two_nodes_one_rel () in
+        let g = Graph.remove_node_force g a in
+        Alcotest.(check bool) "not wellformed" false (Graph.is_wellformed g);
+        Alcotest.(check (list int)) "dangling" [ r ]
+          (List.map (fun (x : Graph.rel) -> x.Graph.r_id) (Graph.dangling_rels g)));
+    case "detach removal deletes incident relationships" (fun () ->
+        let g, a, _, _ = two_nodes_one_rel () in
+        let g = Graph.remove_node_detach g a in
+        Alcotest.(check int) "nodes" 1 (Graph.node_count g);
+        Alcotest.(check int) "rels" 0 (Graph.rel_count g);
+        Alcotest.(check bool) "wellformed" true (Graph.is_wellformed g));
+    case "deleted entities leave tombstones" (fun () ->
+        let g, a, _, r = two_nodes_one_rel () in
+        let g = Graph.remove_rel g r in
+        let g = Graph.remove_node_detach g a in
+        Alcotest.(check bool) "node tomb" true (Graph.is_tombstoned g a);
+        Alcotest.(check bool) "rel tomb" true (Graph.is_tombstoned g r);
+        Alcotest.(check (list string)) "labels read as empty" []
+          (Graph.labels_of g a));
+    case "ids are never reused after deletion" (fun () ->
+        let a, g = Graph.create_node Graph.empty in
+        let g = Graph.remove_node_detach g a in
+        let b, _ = Graph.create_node g in
+        Alcotest.(check bool) "fresh id" true (b <> a));
+    case "property update flavours" (fun () ->
+        let a, g = Graph.create_node ~props:(Props.of_list [ ("x", vint 1); ("y", vint 2) ]) Graph.empty in
+        let g = Graph.set_node_prop g a "x" (vint 10) in
+        check_value "set" (vint 10) (Props.get (Graph.node_props_of g a) "x");
+        let g = Graph.merge_node_props g a (Props.of_list [ ("z", vint 3) ]) in
+        check_value "merged keeps y" (vint 2) (Props.get (Graph.node_props_of g a) "y");
+        check_value "merged adds z" (vint 3) (Props.get (Graph.node_props_of g a) "z");
+        let g = Graph.replace_node_props g a (Props.of_list [ ("only", vint 9) ]) in
+        Alcotest.(check (list string)) "replace" [ "only" ]
+          (Props.keys (Graph.node_props_of g a)));
+    case "label add and remove" (fun () ->
+        let a, g = Graph.create_node ~labels:[ "A" ] Graph.empty in
+        let g = Graph.add_label g a "B" in
+        Alcotest.(check (list string)) "added" [ "A"; "B" ] (Graph.labels_of g a);
+        let g = Graph.remove_label g a "A" in
+        Alcotest.(check (list string)) "removed" [ "B" ] (Graph.labels_of g a));
+    case "setting a property to null removes it" (fun () ->
+        let a, g = Graph.create_node ~props:(Props.of_list [ ("x", vint 1) ]) Graph.empty in
+        let g = Graph.set_node_prop g a "x" vnull in
+        Alcotest.(check bool) "gone" true
+          (Props.is_empty (Graph.node_props_of g a)));
+    case "rebuild reconstructs adjacency" (fun () ->
+        let g, a, b, _ = two_nodes_one_rel () in
+        let g2 =
+          Graph.rebuild ~next_id:(Graph.next_id g) ~tombs:(Graph.tombstones g)
+            (Graph.nodes g) (Graph.rels g)
+        in
+        Alcotest.(check int) "out degree preserved" 1
+          (List.length (Graph.out_rels g2 a));
+        Alcotest.(check int) "in degree preserved" 1
+          (List.length (Graph.in_rels g2 b));
+        Alcotest.check graph_iso_testable "isomorphic" g g2);
+    case "label index follows creation and label updates" (fun () ->
+        let a, g = Graph.create_node ~labels:[ "A" ] Graph.empty in
+        let b, g = Graph.create_node ~labels:[ "A"; "B" ] g in
+        Alcotest.(check (list int)) "A" [ a; b ] (Graph.nodes_with_label g "A");
+        Alcotest.(check (list int)) "B" [ b ] (Graph.nodes_with_label g "B");
+        let g = Graph.add_label g a "B" in
+        Alcotest.(check (list int)) "B grows" [ a; b ] (Graph.nodes_with_label g "B");
+        let g = Graph.remove_label g b "A" in
+        Alcotest.(check (list int)) "A shrinks" [ a ] (Graph.nodes_with_label g "A");
+        Alcotest.(check (list int)) "unknown label" []
+          (Graph.nodes_with_label g "Zzz"));
+    case "label index follows deletion and rebuild" (fun () ->
+        let a, g = Graph.create_node ~labels:[ "A" ] Graph.empty in
+        let _b, g = Graph.create_node ~labels:[ "A" ] g in
+        let g = Graph.remove_node_detach g a in
+        Alcotest.(check int) "one left" 1
+          (List.length (Graph.nodes_with_label g "A"));
+        let g2 =
+          Graph.rebuild ~next_id:(Graph.next_id g) ~tombs:(Graph.tombstones g)
+            (Graph.nodes g) (Graph.rels g)
+        in
+        Alcotest.(check int) "index rebuilt" 1
+          (List.length (Graph.nodes_with_label g2 "A")));
+    case "self-loop counts once in incident rels" (fun () ->
+        let a, g = Graph.create_node Graph.empty in
+        let _, g = Graph.create_rel ~src:a ~tgt:a ~r_type:"SELF" g in
+        Alcotest.(check int) "incident" 1 (List.length (Graph.incident_rels g a));
+        Alcotest.(check int) "degree" 1 (Graph.degree g a));
+  ]
+
+let histogram_tests =
+  [
+    case "label and type histograms" (fun () ->
+        let g =
+          graph_of
+            "CREATE (:A), (:A:B), (:B)-[:T]->(:C), (:C)-[:T]->(:A), \
+             (:X)-[:U]->(:X)"
+        in
+        Alcotest.(check (list (pair string int)))
+          "labels"
+          [ ("A", 3); ("B", 2); ("C", 2); ("X", 2) ]
+          (Graph.label_histogram g);
+        Alcotest.(check (list (pair string int)))
+          "types" [ ("T", 2); ("U", 1) ] (Graph.type_histogram g));
+    case "histograms of the empty graph are empty" (fun () ->
+        Alcotest.(check (list (pair string int))) "labels" []
+          (Graph.label_histogram Graph.empty);
+        Alcotest.(check (list (pair string int))) "types" []
+          (Graph.type_histogram Graph.empty));
+  ]
+
+let suite = suite @ histogram_tests

@@ -1,0 +1,60 @@
+(** The graph-isomorphism checker used to validate reproduced figures. *)
+
+open Cypher_graph
+open Cypher_paper
+open Test_util
+
+let iso = Iso.isomorphic
+
+let build = Fixtures.build
+
+let suite =
+  [
+    case "empty graphs are isomorphic" (fun () ->
+        Alcotest.(check bool) "iso" true (iso Graph.empty Graph.empty));
+    case "same shape different ids" (fun () ->
+        let g1 = build [ ([ "A" ], []); ([ "B" ], []) ] [ (0, "T", 1) ] in
+        (* create in the other order: ids differ, shape does not *)
+        let g2 = build [ ([ "B" ], []); ([ "A" ], []) ] [ (1, "T", 0) ] in
+        Alcotest.(check bool) "iso" true (iso g1 g2));
+    case "label mismatch breaks isomorphism" (fun () ->
+        let g1 = build [ ([ "A" ], []) ] [] in
+        let g2 = build [ ([ "B" ], []) ] [] in
+        Alcotest.(check bool) "not iso" false (iso g1 g2));
+    case "property mismatch breaks isomorphism" (fun () ->
+        let g1 = build [ ([], [ ("x", vint 1) ]) ] [] in
+        let g2 = build [ ([], [ ("x", vint 2) ]) ] [] in
+        Alcotest.(check bool) "not iso" false (iso g1 g2));
+    case "relationship direction matters" (fun () ->
+        let g1 = build [ ([ "A" ], []); ([ "B" ], []) ] [ (0, "T", 1) ] in
+        let g2 = build [ ([ "A" ], []); ([ "B" ], []) ] [ (1, "T", 0) ] in
+        Alcotest.(check bool) "not iso" false (iso g1 g2));
+    case "relationship multiplicity matters" (fun () ->
+        let g1 = build [ ([], []); ([], []) ] [ (0, "T", 1) ] in
+        let g2 = build [ ([], []); ([], []) ] [ (0, "T", 1); (0, "T", 1) ] in
+        Alcotest.(check bool) "not iso" false (iso g1 g2));
+    case "parallel edges of different types" (fun () ->
+        let g1 = build [ ([], []); ([], []) ] [ (0, "T", 1); (0, "U", 1) ] in
+        let g2 = build [ ([], []); ([], []) ] [ (0, "U", 1); (0, "T", 1) ] in
+        Alcotest.(check bool) "iso" true (iso g1 g2));
+    case "indistinguishable nodes require backtracking" (fun () ->
+        (* two anonymous nodes where only the edge decides the mapping *)
+        let g1 = build [ ([], []); ([], []); ([ "X" ], []) ] [ (0, "T", 2) ] in
+        let g2 = build [ ([], []); ([], []); ([ "X" ], []) ] [ (1, "T", 2) ] in
+        Alcotest.(check bool) "iso" true (iso g1 g2));
+    case "triangle vs path" (fun () ->
+        let g1 =
+          build [ ([], []); ([], []); ([], []) ]
+            [ (0, "T", 1); (1, "T", 2); (2, "T", 0) ]
+        in
+        let g2 =
+          build [ ([], []); ([], []); ([], []) ]
+            [ (0, "T", 1); (1, "T", 2); (0, "T", 2) ]
+        in
+        Alcotest.(check bool) "not iso" false (iso g1 g2));
+    case "figure fixtures distinguish correctly" (fun () ->
+        Alcotest.(check bool) "7a vs 7b" false (iso Fixtures.figure7a Fixtures.figure7b);
+        Alcotest.(check bool) "7b vs 7c" false (iso Fixtures.figure7b Fixtures.figure7c);
+        Alcotest.(check bool) "8a vs 8b" false (iso Fixtures.figure8a Fixtures.figure8b);
+        Alcotest.(check bool) "9a vs 9b" false (iso Fixtures.figure9a Fixtures.figure9b));
+  ]

@@ -1,0 +1,72 @@
+(** The lexer: tokens, literals, comments, arrows, error positions. *)
+
+open Cypher_parser
+open Test_util
+
+let kinds src =
+  match Lexer.tokenize src with
+  | Ok toks -> List.map (fun t -> t.Token.kind) toks
+  | Error e -> Alcotest.failf "lexing failed: %s" (Lexer.error_to_string e)
+
+let lex_fails src =
+  match Lexer.tokenize src with Ok _ -> false | Error _ -> true
+
+let check_kinds name expected src =
+  Alcotest.(check (list string))
+    name
+    (List.map Token.describe expected)
+    (List.map Token.describe (kinds src))
+
+let suite =
+  [
+    case "identifiers and keywords are both idents" (fun () ->
+        check_kinds "match" [ Token.Ident "MATCH"; Token.Ident "n"; Token.Eof ]
+          "MATCH n");
+    case "numbers" (fun () ->
+        check_kinds "int" [ Token.Int 42; Token.Eof ] "42";
+        check_kinds "float" [ Token.Float 3.25; Token.Eof ] "3.25";
+        check_kinds "exponent" [ Token.Float 1e3; Token.Eof ] "1e3");
+    case "range does not eat into a float" (fun () ->
+        check_kinds "1..3" [ Token.Int 1; Token.Dotdot; Token.Int 3; Token.Eof ] "1..3");
+    case "strings with both quote styles and escapes" (fun () ->
+        check_kinds "single" [ Token.Str "a'b"; Token.Eof ] "'a\\'b'";
+        check_kinds "double" [ Token.Str "x"; Token.Eof ] "\"x\"";
+        check_kinds "newline escape" [ Token.Str "a\nb"; Token.Eof ] "'a\\nb'");
+    case "parameters" (fun () ->
+        check_kinds "$p" [ Token.Param "p"; Token.Eof ] "$p");
+    case "backtick identifiers" (fun () ->
+        check_kinds "`weird name`" [ Token.Ident "weird name"; Token.Eof ]
+          "`weird name`");
+    case "arrows and comparison operators disambiguate" (fun () ->
+        check_kinds "->" [ Token.Arrow; Token.Eof ] "->";
+        check_kinds "<-" [ Token.Larrow; Token.Eof ] "<-";
+        check_kinds "<=" [ Token.Le; Token.Eof ] "<=";
+        check_kinds "<>" [ Token.Neq; Token.Eof ] "<>";
+        check_kinds "a < b" [ Token.Ident "a"; Token.Lt; Token.Ident "b"; Token.Eof ]
+          "a < b");
+    case "relationship pattern token stream" (fun () ->
+        check_kinds "-[r:T]->"
+          [
+            Token.Minus; Token.Lbracket; Token.Ident "r"; Token.Colon;
+            Token.Ident "T"; Token.Rbracket; Token.Arrow; Token.Eof;
+          ]
+          "-[r:T]->");
+    case "+= is one token" (fun () ->
+        check_kinds "+=" [ Token.Pluseq; Token.Eof ] "+=");
+    case "line comments are skipped" (fun () ->
+        check_kinds "comment" [ Token.Int 1; Token.Int 2; Token.Eof ]
+          "1 // hello\n2");
+    case "block comments are skipped" (fun () ->
+        check_kinds "comment" [ Token.Int 1; Token.Int 2; Token.Eof ]
+          "1 /* multi\nline */ 2");
+    case "errors carry positions" (fun () ->
+        match Lexer.tokenize "ok\n  @" with
+        | Error e ->
+            Alcotest.(check int) "line" 2 e.Lexer.line;
+            Alcotest.(check int) "col" 3 e.Lexer.col
+        | Ok _ -> Alcotest.fail "should not lex");
+    case "unterminated string fails" (fun () ->
+        Alcotest.(check bool) "fails" true (lex_fails "'oops"));
+    case "unterminated comment fails" (fun () ->
+        Alcotest.(check bool) "fails" true (lex_fails "/* oops"));
+  ]

@@ -1,0 +1,36 @@
+let () =
+  Alcotest.run "cypher"
+    [
+      ("tri", Test_tri.suite);
+      ("value", Test_value.suite);
+      ("props", Test_props.suite);
+      ("graph", Test_graph.suite);
+      ("iso", Test_iso.suite);
+      ("table", Test_table.suite);
+      ("listx", Test_listx.suite);
+      ("lexer", Test_lexer.suite);
+      ("parser", Test_parser.suite);
+      ("pretty", Test_pretty.suite);
+      ("expr", Test_expr.suite);
+      ("matcher", Test_matcher.suite);
+      ("reading", Test_reading.suite);
+      ("create", Test_create.suite);
+      ("set", Test_set.suite);
+      ("remove", Test_remove.suite);
+      ("delete", Test_delete.suite);
+      ("merge", Test_merge.suite);
+      ("foreach", Test_foreach.suite);
+      ("csv", Test_csv.suite);
+      ("homomorphism", Test_homomorphism.suite);
+      ("quantifiers", Test_quantifiers.suite);
+      ("pattern_pred", Test_pattern_pred.suite);
+      ("pattern_comp", Test_pattern_comp.suite);
+      ("shortest_path", Test_shortest_path.suite);
+      ("session", Test_session.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("errors", Test_errors.suite);
+      ("integration", Test_integration.suite);
+      ("differential", Test_differential.suite);
+      ("experiments", Test_experiments.suite);
+      ("properties", Test_properties.suite);
+    ]

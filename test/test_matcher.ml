@@ -1,0 +1,118 @@
+(** Pattern matching: embeddings, relationship isomorphism, direction,
+    variable-length paths, bound variables, OPTIONAL MATCH. *)
+
+open Cypher_graph
+open Test_util
+
+let chain = graph_of "CREATE (:A {k: 1})-[:T]->(:B {k: 2})-[:T]->(:C {k: 3})"
+
+let suite =
+  [
+    case "node matching filters by label and property" (fun () ->
+        check_rows "by label" 1 (run_table chain "MATCH (n:B) RETURN n");
+        check_rows "by property" 1 (run_table chain "MATCH (n {k: 2}) RETURN n");
+        check_rows "label and property mismatch" 0
+          (run_table chain "MATCH (n:B {k: 3}) RETURN n");
+        check_rows "unlabeled matches everything" 3
+          (run_table chain "MATCH (n) RETURN n"));
+    case "null-valued pattern properties never match" (fun () ->
+        check_rows "null" 0 (run_table chain "MATCH (n {k: null}) RETURN n"));
+    case "direction is respected" (fun () ->
+        check_rows "out" 2 (run_table chain "MATCH (a)-[:T]->(b) RETURN a");
+        check_rows "in" 2 (run_table chain "MATCH (a)<-[:T]-(b) RETURN a");
+        check_rows "undirected counts both ends" 4
+          (run_table chain "MATCH (a)-[:T]-(b) RETURN a"));
+    case "type filtering" (fun () ->
+        let g = graph_of "CREATE (:A)-[:X]->(:B), (:A)-[:Y]->(:B)" in
+        check_rows "x only" 1 (run_table g "MATCH ()-[r:X]->() RETURN r");
+        check_rows "alternative" 2 (run_table g "MATCH ()-[r:X|Y]->() RETURN r");
+        check_rows "any" 2 (run_table g "MATCH ()-[r]->() RETURN r"));
+    case "two-step pattern" (fun () ->
+        check_rows "path" 1 (run_table chain "MATCH (a:A)-[:T]->(b)-[:T]->(c:C) RETURN a"));
+    case "relationship isomorphism within a pattern" (fun () ->
+        (* a single relationship cannot play two pattern positions *)
+        let g = graph_of "CREATE (:A)-[:T]->(:B)" in
+        check_rows "needs two distinct rels" 0
+          (run_table g "MATCH (a)-[r1:T]->(b), (c)-[r2:T]->(d) RETURN a");
+        let g2 = graph_of "CREATE (:A)-[:T]->(:B), (:A)-[:T]->(:B)" in
+        check_rows "two rels give two assignments" 2
+          (run_table g2 "MATCH (a)-[r1:T]->(b), (c)-[r2:T]->(d) RETURN a"));
+    case "undirected traversal cannot reuse one edge both ways" (fun () ->
+        let g = graph_of "CREATE (a:A)-[:T]->(a2:A)" in
+        check_rows "no double traversal" 0
+          (run_table g "MATCH (x)-[:T]-(y)-[:T]-(z) RETURN x"));
+    case "the paper's loop example is finite" (fun () ->
+        (* MATCH (v)-[*]->(v) on a single loop: edge-distinctness bounds
+           the walk (Section 2) *)
+        let g = graph_of "CREATE (v:V)-[:T]->(v2:V), (v2)-[:T]->(v)" in
+        ignore g;
+        let loop = graph_of "CREATE (v:V) WITH v CREATE (v)-[:T]->(v)" in
+        check_rows "single loop traversed once" 1
+          (run_table loop "MATCH (v)-[*]->(v) RETURN v"));
+    case "variable-length ranges" (fun () ->
+        check_rows "*1..2 from a" 2
+          (run_table chain "MATCH (a:A)-[:T*1..2]->(b) RETURN b");
+        check_rows "*2 exactly" 1 (run_table chain "MATCH (a:A)-[:T*2]->(b) RETURN b");
+        check_rows "*0.. includes the node itself" 3
+          (run_table chain "MATCH (a:A)-[:T*0..]->(b) RETURN b"));
+    case "variable-length binds the relationship list" (fun () ->
+        let t = run_table chain "MATCH (a:A)-[rs:T*2]->(c) RETURN size(rs) AS n" in
+        check_value "two rels" (vint 2) (first_cell t));
+    case "named paths expose nodes and relationships" (fun () ->
+        let t =
+          run_table chain
+            "MATCH p = (a:A)-[:T]->(b)-[:T]->(c) RETURN size(nodes(p)) AS n, \
+             size(relationships(p)) AS r, length(p) AS l"
+        in
+        let row = List.hd (Cypher_table.Table.rows t) in
+        check_value "nodes" (vint 3) (Cypher_table.Record.find row "n");
+        check_value "rels" (vint 2) (Cypher_table.Record.find row "r");
+        check_value "length" (vint 2) (Cypher_table.Record.find row "l"));
+    case "bound variables anchor subsequent matches" (fun () ->
+        check_rows "anchored" 1
+          (run_table chain "MATCH (a:A) MATCH (a)-[:T]->(b) RETURN b"));
+    case "repeated variable within a pattern forces equality" (fun () ->
+        let g = graph_of "CREATE (a:A)-[:T]->(:B)-[:T]->(a2:A)" in
+        ignore g;
+        let loop = graph_of "CREATE (a:A) WITH a CREATE (a)-[:T]->(:B) WITH a MATCH (b:B) CREATE (b)-[:T]->(a)" in
+        check_rows "cycle found" 1
+          (run_table loop "MATCH (x:A)-[:T]->(:B)-[:T]->(x) RETURN x"));
+    case "property predicates may reference earlier bindings" (fun () ->
+        let g = graph_of "CREATE (:A {k: 1})-[:T]->(:B {k: 1}), (:A {k: 2})-[:T]->(:B {k: 9})" in
+        check_rows "correlated" 1
+          (run_table g "MATCH (a:A) MATCH (b:B {k: a.k}) RETURN b"));
+    case "multiple patterns form a join" (fun () ->
+        check_rows "cartesian product of label matches" 1
+          (run_table chain "MATCH (a:A), (c:C), (b:B) MATCH (a)-[:T]->(x) RETURN x");
+        (* two B-labelled nodes → cartesian doubles the rows *)
+        let g = graph_of "CREATE (:A), (:B), (:B)" in
+        check_rows "cartesian" 2 (run_table g "MATCH (a:A), (b:B) RETURN a, b"));
+    case "optional match pads with nulls" (fun () ->
+        let t = run_table chain "MATCH (c:C) OPTIONAL MATCH (c)-[:T]->(x) RETURN c, x" in
+        check_rows "one row" 1 t;
+        check_value "x is null" vnull
+          (Cypher_table.Record.find (List.hd (Cypher_table.Table.rows t)) "x"));
+    case "optional match keeps matches when they exist" (fun () ->
+        let t = run_table chain "MATCH (a:A) OPTIONAL MATCH (a)-[:T]->(x) RETURN x" in
+        check_rows "one row" 1 t;
+        Alcotest.(check bool) "x bound" true
+          (Cypher_table.Record.find (List.hd (Cypher_table.Table.rows t)) "x" <> vnull));
+    case "optional match with where" (fun () ->
+        let t =
+          run_table chain
+            "MATCH (a:A) OPTIONAL MATCH (a)-[:T]->(x) WHERE x.k > 99 RETURN x"
+        in
+        check_value "filtered to null" vnull (first_cell t));
+    case "where filters with ternary logic" (fun () ->
+        let g = graph_of "CREATE (:P {age: 20}), (:P {age: 30}), (:P)" in
+        (* the ageless node gives null > 25 = unknown, dropped *)
+        check_rows "only true survives" 1
+          (run_table g "MATCH (p:P) WHERE p.age > 25 RETURN p"));
+    case "match on empty graph yields nothing" (fun () ->
+        check_rows "empty" 0 (run_table Graph.empty "MATCH (n) RETURN n"));
+    case "self-loop matching" (fun () ->
+        let g = graph_of "CREATE (v:V) WITH v CREATE (v)-[:T]->(v)" in
+        check_rows "directed" 1 (run_table g "MATCH (a)-[:T]->(a) RETURN a");
+        check_rows "undirected self-loop matches once" 1
+          (run_table g "MATCH (a)-[:T]-(b) RETURN a"));
+  ]

@@ -1,0 +1,72 @@
+(** Pattern comprehensions: [[(a)-[:T]->(b) WHERE p | e]]. *)
+
+open Test_util
+module Config = Cypher_core.Config
+
+let g =
+  graph_of
+    "CREATE (u:User {name: 'Bob'}),\n\
+     (p1:Product {name: 'laptop', price: 900}),\n\
+     (p2:Product {name: 'mouse', price: 20}),\n\
+     (p3:Product {name: 'desk', price: 150})\n\
+     WITH u, p1, p2, p3\n\
+     CREATE (u)-[:ORDERED]->(p1), (u)-[:ORDERED]->(p2), (u)-[:ORDERED]->(p3)"
+
+let suite =
+  [
+    case "collects mapped values over embeddings" (fun () ->
+        let t =
+          run_table g
+            "MATCH (u:User) RETURN [(u)-[:ORDERED]->(p) | p.name] AS items"
+        in
+        match first_cell t with
+        | Cypher_graph.Value.List items ->
+            Alcotest.(check (list value_testable))
+              "sorted items"
+              [ vstr "desk"; vstr "laptop"; vstr "mouse" ]
+              (List.sort Cypher_graph.Value.compare_total items)
+        | v -> Alcotest.failf "expected a list, got %s" (Cypher_graph.Value.to_string v));
+    case "WHERE filters embeddings" (fun () ->
+        let t =
+          run_table g
+            "MATCH (u:User) RETURN [(u)-[:ORDERED]->(p) WHERE p.price > 100 \
+             | p.name] AS pricey"
+        in
+        match first_cell t with
+        | Cypher_graph.Value.List items ->
+            Alcotest.(check int) "two" 2 (List.length items)
+        | _ -> Alcotest.fail "expected a list");
+    case "empty result when nothing matches" (fun () ->
+        let t =
+          run_table g
+            "MATCH (u:User) RETURN [(u)-[:RETURNED]->(p) | p.name] AS none"
+        in
+        check_value "empty" (vlist []) (first_cell t));
+    case "combines with list functions" (fun () ->
+        let t =
+          run_table g
+            "MATCH (u:User) RETURN size([(u)-[:ORDERED]->(p) | p]) AS n,\n\
+             reduce(total = 0, x IN [(u)-[:ORDERED]->(p) | p.price] | total + x) AS spend"
+        in
+        let row = List.hd (Cypher_table.Table.rows t) in
+        check_value "count" (vint 3) (Cypher_table.Record.find row "n");
+        check_value "spend" (vint 1070) (Cypher_table.Record.find row "spend"));
+    case "backtracking keeps plain bracketed lists working" (fun () ->
+        check_value "parenthesised expr in list" (vlist [ vint 3; vint 4 ])
+          (first_cell (run_table Cypher_graph.Graph.empty "RETURN [(1 + 2), 4] AS l")));
+    case "round-trips through the pretty-printer" (fun () ->
+        let src =
+          "MATCH (u) RETURN [(u)-[:T]->(b) WHERE b.x > 1 | b.name] AS xs"
+        in
+        match Cypher_parser.Parser.parse_string src with
+        | Error e ->
+            Alcotest.failf "parse: %s" (Cypher_parser.Parser.error_to_string e)
+        | Ok q -> (
+            let printed = Cypher_ast.Pretty.query_to_string q in
+            match Cypher_parser.Parser.parse_string printed with
+            | Ok q' when q = q' -> ()
+            | Ok _ -> Alcotest.failf "round-trip changed: %s" printed
+            | Error e ->
+                Alcotest.failf "reparse: %s"
+                  (Cypher_parser.Parser.error_to_string e)));
+  ]

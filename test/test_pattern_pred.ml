@@ -1,0 +1,88 @@
+(** Pattern predicates: [exists((a)-[:T]->(b))] in expression position. *)
+
+open Test_util
+module Config = Cypher_core.Config
+module Errors = Cypher_core.Errors
+
+let g =
+  graph_of
+    "CREATE (v:Vendor {name: 'v1'})-[:OFFERS]->(p1:Product {name: 'laptop'}),\n\
+    \       (p2:Product {name: 'orphan'}),\n\
+    \       (u:User {name: 'Bob'})-[:ORDERED]->(p1)"
+
+let suite =
+  [
+    case "filters on relationship existence" (fun () ->
+        let t =
+          run_table g
+            "MATCH (p:Product) WHERE exists((:Vendor)-[:OFFERS]->(p))\n\
+             RETURN p.name"
+        in
+        Alcotest.(check (list value_testable)) "offered" [ vstr "laptop" ]
+          (column t "p.name"));
+    case "negated existence finds orphans" (fun () ->
+        let t =
+          run_table g
+            "MATCH (p:Product) WHERE NOT exists((:Vendor)-[:OFFERS]->(p))\n\
+             RETURN p.name"
+        in
+        Alcotest.(check (list value_testable)) "orphan" [ vstr "orphan" ]
+          (column t "p.name"));
+    case "works as a projected value" (fun () ->
+        let t =
+          run_table g
+            "MATCH (p:Product) RETURN p.name AS n, exists((p)<-[:ORDERED]-()) \
+             AS ordered ORDER BY n"
+        in
+        Alcotest.(check (list value_testable)) "flags"
+          [ vbool true; vbool false ]
+          (column t "ordered"));
+    case "anchors on multiple bound variables" (fun () ->
+        let t =
+          run_table g
+            "MATCH (u:User), (p:Product)\n\
+             WHERE exists((u)-[:ORDERED]->(p))\n\
+             RETURN p.name"
+        in
+        Alcotest.(check (list value_testable)) "pair" [ vstr "laptop" ]
+          (column t "p.name"));
+    case "property form of exists still works" (fun () ->
+        let t =
+          run_table g "MATCH (u:User) RETURN exists(u.name) AS has_name"
+        in
+        check_value "value form" (vbool true) (first_cell t));
+    case "pattern tuples in exists" (fun () ->
+        let t =
+          run_table g
+            "MATCH (p:Product) WHERE exists((:Vendor)-[:OFFERS]->(p), \
+             (:User)-[:ORDERED]->(p)) RETURN p.name"
+        in
+        Alcotest.(check (list value_testable)) "both conditions"
+          [ vstr "laptop" ] (column t "p.name"));
+    case "respects the homomorphic matching mode" (fun () ->
+        (* one edge, pattern needing two distinct edges: only the
+           homomorphic regime finds an embedding *)
+        let g2 = graph_of "CREATE (:A)-[:T]->(:B)" in
+        let q =
+          "MATCH (a:A) RETURN exists((a)-[:T]->(), ()-[:T]->()) AS e"
+        in
+        check_value "isomorphic" (vbool false) (first_cell (run_table g2 q));
+        check_value "homomorphic" (vbool true)
+          (first_cell
+             (run_table
+                ~config:(Config.with_match_mode Config.Homomorphic Config.revised)
+                g2 q)));
+    case "round-trips through the pretty-printer" (fun () ->
+        let src = "MATCH (p) WHERE exists((p)-[:T]->(:X {k: 1})) RETURN p" in
+        match Cypher_parser.Parser.parse_string src with
+        | Error e ->
+            Alcotest.failf "parse: %s" (Cypher_parser.Parser.error_to_string e)
+        | Ok q -> (
+            let printed = Cypher_ast.Pretty.query_to_string q in
+            match Cypher_parser.Parser.parse_string printed with
+            | Ok q' when q = q' -> ()
+            | Ok _ -> Alcotest.failf "round-trip changed: %s" printed
+            | Error e ->
+                Alcotest.failf "reparse: %s"
+                  (Cypher_parser.Parser.error_to_string e)));
+  ]

@@ -1,0 +1,38 @@
+(** Property maps: the total ι function with null-as-absence. *)
+
+open Cypher_graph
+open Test_util
+
+let suite =
+  [
+    case "absent key reads as null" (fun () ->
+        check_value "empty" vnull (Props.get Props.empty "k"));
+    case "set then get" (fun () ->
+        let p = Props.set Props.empty "k" (vint 1) in
+        check_value "k" (vint 1) (Props.get p "k"));
+    case "setting null removes the key" (fun () ->
+        let p = Props.set (Props.set Props.empty "k" (vint 1)) "k" vnull in
+        Alcotest.(check bool) "empty again" true (Props.is_empty p));
+    case "of_list drops null values" (fun () ->
+        let p = Props.of_list [ ("a", vint 1); ("b", vnull) ] in
+        Alcotest.(check (list string)) "keys" [ "a" ] (Props.keys p));
+    case "merge_into overwrites and removes" (fun () ->
+        let base = Props.of_list [ ("a", vint 1); ("b", vint 2) ] in
+        let extra = Props.of_list [ ("b", vint 20); ("c", vint 3) ] in
+        let merged = Props.merge_into base extra in
+        check_value "a kept" (vint 1) (Props.get merged "a");
+        check_value "b overwritten" (vint 20) (Props.get merged "b");
+        check_value "c added" (vint 3) (Props.get merged "c"));
+    case "equality ignores binding order" (fun () ->
+        let p1 = Props.of_list [ ("a", vint 1); ("b", vint 2) ] in
+        let p2 = Props.of_list [ ("b", vint 2); ("a", vint 1) ] in
+        Alcotest.(check bool) "equal" true (Props.equal p1 p2));
+    case "remove is idempotent" (fun () ->
+        let p = Props.of_list [ ("a", vint 1) ] in
+        let p1 = Props.remove p "a" in
+        let p2 = Props.remove p1 "a" in
+        Alcotest.(check bool) "equal" true (Props.equal p1 p2));
+    case "keys are sorted" (fun () ->
+        let p = Props.of_list [ ("z", vint 1); ("a", vint 2); ("m", vint 3) ] in
+        Alcotest.(check (list string)) "sorted" [ "a"; "m"; "z" ] (Props.keys p));
+  ]

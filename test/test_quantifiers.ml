@@ -1,0 +1,79 @@
+(** Quantifier predicates (all / any / none / single) and reduce. *)
+
+open Cypher_graph
+open Test_util
+
+let eval src =
+  first_cell (run_table Graph.empty (Printf.sprintf "RETURN %s AS r" src))
+
+let check name expected src = check_value name expected (eval src)
+
+let suite =
+  [
+    case "all" (fun () ->
+        check "holds" (vbool true) "all(x IN [2, 4] WHERE x % 2 = 0)";
+        check "fails" (vbool false) "all(x IN [2, 3] WHERE x % 2 = 0)";
+        check "empty list" (vbool true) "all(x IN [] WHERE x > 0)");
+    case "any" (fun () ->
+        check "holds" (vbool true) "any(x IN [1, 2] WHERE x > 1)";
+        check "fails" (vbool false) "any(x IN [1, 2] WHERE x > 9)";
+        check "empty list" (vbool false) "any(x IN [] WHERE x > 0)");
+    case "none" (fun () ->
+        check "holds" (vbool true) "none(x IN [1, 2] WHERE x > 9)";
+        check "fails" (vbool false) "none(x IN [1, 2] WHERE x > 1)");
+    case "single" (fun () ->
+        check "exactly one" (vbool true) "single(x IN [1, 2, 3] WHERE x = 2)";
+        check "two" (vbool false) "single(x IN [2, 2] WHERE x = 2)";
+        check "zero" (vbool false) "single(x IN [1] WHERE x = 2)");
+    case "ternary logic in quantifiers" (fun () ->
+        (* a null comparison is unknown, not false *)
+        check "all with unknown" vnull "all(x IN [2, null] WHERE x % 2 = 0)";
+        check "all already false" (vbool false)
+          "all(x IN [1, null] WHERE x % 2 = 0)";
+        check "any with unknown" vnull "any(x IN [1, null] WHERE x % 2 = 0)";
+        check "any already true" (vbool true)
+          "any(x IN [2, null] WHERE x % 2 = 0)";
+        check "single with unknown" vnull "single(x IN [2, null] WHERE x % 2 = 0)";
+        check "single two trues beats unknown" (vbool false)
+          "single(x IN [2, 4, null] WHERE x % 2 = 0)");
+    case "null source propagates" (fun () ->
+        check "all" vnull "all(x IN null WHERE x > 0)";
+        check "reduce" vnull "reduce(acc = 0, x IN null | acc + x)");
+    case "reduce folds left" (fun () ->
+        check "sum" (vint 10) "reduce(acc = 0, x IN [1, 2, 3, 4] | acc + x)";
+        check "init on empty" (vint 7) "reduce(acc = 7, x IN [] | acc + x)";
+        check "left order" (vstr "abc")
+          "reduce(acc = '', x IN ['a', 'b', 'c'] | acc + x)");
+    case "reduce binds both accumulator and element" (fun () ->
+        check "max" (vint 9)
+          "reduce(m = 0, x IN [3, 9, 4] | CASE WHEN x > m THEN x ELSE m END)");
+    case "quantifiers work in WHERE" (fun () ->
+        let g = graph_of "CREATE (:P {xs: [1, 2]}), (:P {xs: [2, 4]})" in
+        check_rows "filtered" 1
+          (run_table g "MATCH (p:P) WHERE all(x IN p.xs WHERE x % 2 = 0) RETURN p"));
+    case "plain functions named like quantifiers still work" (fun () ->
+        (* no binder -> ordinary (unknown) function call, caught cleanly *)
+        match run_err Graph.empty "RETURN all([1, 2])" with
+        | Cypher_core.Errors.Eval_error _ -> ()
+        | e -> Alcotest.failf "wrong error: %s" (Cypher_core.Errors.to_string e));
+    case "round-trips through the pretty-printer" (fun () ->
+        List.iter
+          (fun src ->
+            let q =
+              match Cypher_parser.Parser.parse_string src with
+              | Ok q -> q
+              | Error e ->
+                  Alcotest.failf "parse: %s" (Cypher_parser.Parser.error_to_string e)
+            in
+            let printed = Cypher_ast.Pretty.query_to_string q in
+            match Cypher_parser.Parser.parse_string printed with
+            | Ok q' when q = q' -> ()
+            | Ok _ -> Alcotest.failf "round-trip changed: %s" printed
+            | Error e ->
+                Alcotest.failf "reparse: %s" (Cypher_parser.Parser.error_to_string e))
+          [
+            "RETURN all(x IN [1] WHERE x > 0) AS a";
+            "RETURN single(y IN xs WHERE y = 1) AS s";
+            "RETURN reduce(acc = 0, x IN [1, 2] | acc + x) AS r";
+          ]);
+  ]

@@ -1,0 +1,223 @@
+(** Reading pipeline: RETURN/WITH projection, aggregation with implicit
+    grouping, DISTINCT, ORDER BY, SKIP/LIMIT, UNWIND, UNION. *)
+
+open Cypher_graph
+open Cypher_table
+open Test_util
+module Api = Cypher_core.Api
+
+let people =
+  graph_of
+    "CREATE (:P {name: 'a', dept: 'x', salary: 10}),\n\
+    \       (:P {name: 'b', dept: 'x', salary: 20}),\n\
+    \       (:P {name: 'c', dept: 'y', salary: 30})"
+
+let ints t name = column t name
+
+let projection_tests =
+  [
+    case "aliases name output columns" (fun () ->
+        let t = run_table people "MATCH (p:P) RETURN p.name AS who LIMIT 1" in
+        Alcotest.(check (list string)) "columns" [ "who" ] (Table.columns t));
+    case "default column names come from the expression" (fun () ->
+        let t = run_table people "MATCH (p:P) RETURN p.name LIMIT 1" in
+        Alcotest.(check (list string)) "columns" [ "p.name" ] (Table.columns t));
+    case "duplicate output columns are rejected" (fun () ->
+        match run_err people "MATCH (p:P) RETURN p.name AS x, p.dept AS x" with
+        | Cypher_core.Errors.Eval_error _ -> ()
+        | e -> Alcotest.failf "wrong error: %s" (Cypher_core.Errors.to_string e));
+    case "WITH renames and narrows scope" (fun () ->
+        let t = run_table people "MATCH (p:P) WITH p.name AS n RETURN n ORDER BY n" in
+        Alcotest.(check (list value_testable)) "names"
+          [ vstr "a"; vstr "b"; vstr "c" ] (ints t "n");
+        (* p is out of scope after WITH *)
+        match run_err people "MATCH (p:P) WITH p.name AS n RETURN p" with
+        | Cypher_core.Errors.Eval_error _ -> ()
+        | e -> Alcotest.failf "wrong error: %s" (Cypher_core.Errors.to_string e));
+    case "RETURN star keeps all columns" (fun () ->
+        let t = run_table people "MATCH (p:P) WITH p.name AS n, p.dept AS d RETURN *" in
+        Alcotest.(check (list string)) "columns" [ "n"; "d" ] (Table.columns t));
+    case "WITH star plus extras" (fun () ->
+        let t =
+          run_table people
+            "MATCH (p:P) WITH p.name AS n WITH *, size(n) AS len RETURN n, len LIMIT 1"
+        in
+        Alcotest.(check (list string)) "columns" [ "n"; "len" ] (Table.columns t));
+    case "DISTINCT eliminates duplicate records" (fun () ->
+        let t = run_table people "MATCH (p:P) RETURN DISTINCT p.dept AS d" in
+        check_rows "two depts" 2 t);
+    case "ORDER BY ascending and descending" (fun () ->
+        let t = run_table people "MATCH (p:P) RETURN p.salary AS s ORDER BY s DESC" in
+        Alcotest.(check (list value_testable)) "desc"
+          [ vint 30; vint 20; vint 10 ] (ints t "s"));
+    case "ORDER BY may reference non-projected variables" (fun () ->
+        let t =
+          run_table people "MATCH (p:P) RETURN p.name AS n ORDER BY p.salary DESC"
+        in
+        Alcotest.(check (list value_testable)) "by salary"
+          [ vstr "c"; vstr "b"; vstr "a" ] (ints t "n"));
+    case "nulls sort last" (fun () ->
+        let g = graph_of "CREATE (:P {x: 2}), (:P), (:P {x: 1})" in
+        let t = run_table g "MATCH (p:P) RETURN p.x AS x ORDER BY x" in
+        Alcotest.(check (list value_testable)) "null last"
+          [ vint 1; vint 2; vnull ] (ints t "x"));
+    case "SKIP and LIMIT with expressions" (fun () ->
+        let t =
+          run_table people "MATCH (p:P) RETURN p.salary AS s ORDER BY s SKIP 1 LIMIT 1"
+        in
+        Alcotest.(check (list value_testable)) "middle" [ vint 20 ] (ints t "s"));
+    case "WITH ... WHERE filters projected rows" (fun () ->
+        let t =
+          run_table people
+            "MATCH (p:P) WITH p.salary AS s WHERE s > 15 RETURN s ORDER BY s"
+        in
+        Alcotest.(check (list value_testable)) "filtered" [ vint 20; vint 30 ]
+          (ints t "s"));
+  ]
+
+let aggregation_tests =
+  [
+    case "count star over everything" (fun () ->
+        check_value "count" (vint 3)
+          (first_cell (run_table people "MATCH (p:P) RETURN count(*) AS n")));
+    case "count on empty table returns one row with 0" (fun () ->
+        let t = run_table Graph.empty "MATCH (n) RETURN count(*) AS n" in
+        check_rows "one row" 1 t;
+        check_value "zero" (vint 0) (first_cell t));
+    case "implicit grouping by non-aggregate items" (fun () ->
+        let t =
+          run_table people
+            "MATCH (p:P) RETURN p.dept AS d, count(*) AS n, sum(p.salary) AS s \
+             ORDER BY d"
+        in
+        check_rows "two groups" 2 t;
+        Alcotest.(check (list value_testable)) "counts" [ vint 2; vint 1 ] (ints t "n");
+        Alcotest.(check (list value_testable)) "sums" [ vint 30; vint 30 ] (ints t "s"));
+    case "count(expr) skips nulls, count(*) does not" (fun () ->
+        let g = graph_of "CREATE (:P {x: 1}), (:P)" in
+        let t = run_table g "MATCH (p:P) RETURN count(p.x) AS cx, count(*) AS call" in
+        let row = List.hd (Table.rows t) in
+        check_value "count x" (vint 1) (Record.find row "cx");
+        check_value "count star" (vint 2) (Record.find row "call"));
+    case "min max avg collect" (fun () ->
+        let t =
+          run_table people
+            "MATCH (p:P) RETURN min(p.salary) AS mn, max(p.salary) AS mx, \
+             avg(p.salary) AS av, collect(p.name) AS names"
+        in
+        let row = List.hd (Table.rows t) in
+        check_value "min" (vint 10) (Record.find row "mn");
+        check_value "max" (vint 30) (Record.find row "mx");
+        check_value "avg" (Value.Float 20.0) (Record.find row "av");
+        check_value "collect" (vlist [ vstr "a"; vstr "b"; vstr "c" ])
+          (Record.find row "names"));
+    case "aggregates of an empty group" (fun () ->
+        let t =
+          run_table Graph.empty
+            "MATCH (n) RETURN sum(n.x) AS s, min(n.x) AS mn, collect(n) AS c"
+        in
+        let row = List.hd (Table.rows t) in
+        check_value "sum" (vint 0) (Record.find row "s");
+        check_value "min" vnull (Record.find row "mn");
+        check_value "collect" (vlist []) (Record.find row "c"));
+    case "DISTINCT inside aggregates" (fun () ->
+        let t = run_table people "MATCH (p:P) RETURN count(DISTINCT p.dept) AS n" in
+        check_value "two depts" (vint 2) (first_cell t));
+    case "aggregate combined with arithmetic" (fun () ->
+        let t = run_table people "MATCH (p:P) RETURN count(*) * 10 AS n" in
+        check_value "scaled" (vint 30) (first_cell t));
+    case "ORDER BY an aggregate" (fun () ->
+        let t =
+          run_table people
+            "MATCH (p:P) RETURN p.dept AS d, count(*) AS n ORDER BY count(*) DESC"
+        in
+        Alcotest.(check (list value_testable)) "depts" [ vstr "x"; vstr "y" ]
+          (ints t "d"));
+    case "aggregate outside RETURN/WITH is an error" (fun () ->
+        match run_err people "MATCH (p:P) WHERE count(*) > 1 RETURN p" with
+        | Cypher_core.Errors.Eval_error _ -> ()
+        | e -> Alcotest.failf "wrong error: %s" (Cypher_core.Errors.to_string e));
+  ]
+
+let unwind_union_tests =
+  [
+    case "UNWIND expands lists into rows" (fun () ->
+        let t = run_table Graph.empty "UNWIND [1, 2, 3] AS x RETURN x" in
+        Alcotest.(check (list value_testable)) "rows" [ vint 1; vint 2; vint 3 ]
+          (ints t "x"));
+    case "UNWIND null produces no rows" (fun () ->
+        check_rows "none" 0 (run_table Graph.empty "UNWIND null AS x RETURN x"));
+    case "UNWIND keeps outer bindings" (fun () ->
+        let t =
+          run_table Graph.empty
+            "UNWIND [1, 2] AS x UNWIND ['a', 'b'] AS y RETURN x, y"
+        in
+        check_rows "cartesian" 4 t);
+    case "UNION deduplicates" (fun () ->
+        let t =
+          run_table Graph.empty "RETURN 1 AS x UNION RETURN 1 AS x UNION RETURN 2 AS x"
+        in
+        check_rows "two" 2 t);
+    case "UNION ALL keeps duplicates" (fun () ->
+        let t = run_table Graph.empty "RETURN 1 AS x UNION ALL RETURN 1 AS x" in
+        check_rows "two" 2 t);
+    case "UNION requires equal columns" (fun () ->
+        match run_err Graph.empty "RETURN 1 AS x UNION RETURN 2 AS y" with
+        | Cypher_core.Errors.Eval_error _ -> ()
+        | e -> Alcotest.failf "wrong error: %s" (Cypher_core.Errors.to_string e));
+    case "UNION of updating queries applies both sides" (fun () ->
+        (* updates are side-effects threaded left to right (Section 8.2) *)
+        let o =
+          run Graph.empty
+            "CREATE (n:A) RETURN 1 AS x UNION CREATE (m:B) RETURN 2 AS x"
+        in
+        Alcotest.(check int) "both created" 2 (Graph.node_count o.Api.graph);
+        check_rows "rows unioned" 2 o.Api.table);
+  ]
+
+let suite = projection_tests @ aggregation_tests @ unwind_union_tests
+
+let extra_tests =
+  [
+    case "ORDER BY multiple keys with stable ties" (fun () ->
+        let g =
+          graph_of
+            "CREATE (:R {a: 1, b: 2}), (:R {a: 1, b: 1}), (:R {a: 0, b: 9})"
+        in
+        let t =
+          run_table g "MATCH (r:R) RETURN r.a AS a, r.b AS b ORDER BY a, b DESC"
+        in
+        Alcotest.(check (list value_testable)) "a then b desc"
+          [ vint 9; vint 2; vint 1 ] (ints t "b"));
+    case "collect then UNWIND restores the bag" (fun () ->
+        let t =
+          run_table Graph.empty
+            "UNWIND [3, 1, 2, 1] AS x WITH collect(x) AS xs UNWIND xs AS y \
+             RETURN y"
+        in
+        Alcotest.(check (list value_testable)) "bag kept"
+          [ vint 3; vint 1; vint 2; vint 1 ] (ints t "y"));
+    case "grouping key may be a computed expression" (fun () ->
+        let t =
+          run_table Graph.empty
+            "UNWIND [1, 2, 3, 4, 5] AS x RETURN x % 2 AS parity, count(*) AS n \
+             ORDER BY parity"
+        in
+        Alcotest.(check (list value_testable)) "counts" [ vint 2; vint 3 ]
+          (ints t "n"));
+    case "SKIP/LIMIT accept parameters" (fun () ->
+        let config = Cypher_core.Config.(with_param "k" (vint 1) revised) in
+        let t =
+          run_table ~config Graph.empty
+            "UNWIND [10, 20, 30] AS x RETURN x ORDER BY x SKIP $k LIMIT $k"
+        in
+        Alcotest.(check (list value_testable)) "window" [ vint 20 ] (ints t "x"));
+    case "DISTINCT then aggregation downstream" (fun () ->
+        let t =
+          run_table Graph.empty
+            "UNWIND [1, 1, 2, 2, 3] AS x WITH DISTINCT x RETURN count(*) AS n"
+        in
+        check_value "three" (vint 3) (first_cell t));
+  ]
+
+let suite = suite @ extra_tests

@@ -1,0 +1,47 @@
+(** REMOVE: labels and properties; idempotence; null targets. *)
+
+open Cypher_graph
+open Test_util
+
+let base = graph_of "CREATE (:A:B {x: 1, y: 2})"
+
+let the_node g = List.hd (Graph.nodes g)
+
+let suite =
+  [
+    case "removes a property" (fun () ->
+        let g = run_graph base "MATCH (n) REMOVE n.x" in
+        Alcotest.(check (list string)) "keys" [ "y" ]
+          (Props.keys (the_node g).Graph.n_props));
+    case "removes labels" (fun () ->
+        let g = run_graph base "MATCH (n) REMOVE n:B" in
+        Alcotest.(check (list string)) "labels" [ "A" ]
+          (Graph.labels_of g (the_node g).Graph.n_id));
+    case "removes several labels at once" (fun () ->
+        let g = run_graph base "MATCH (n) REMOVE n:A:B" in
+        Alcotest.(check (list string)) "labels" []
+          (Graph.labels_of g (the_node g).Graph.n_id));
+    case "removing a missing property is a no-op" (fun () ->
+        let g = run_graph base "MATCH (n) REMOVE n.zzz" in
+        Alcotest.(check (list string)) "keys" [ "x"; "y" ]
+          (Props.keys (the_node g).Graph.n_props));
+    case "removing on a null binding is a no-op" (fun () ->
+        let g = run_graph base "OPTIONAL MATCH (m:Missing) REMOVE m.x" in
+        Alcotest.(check int) "unchanged" 1 (Graph.node_count g));
+    case "mixed remove items apply left to right" (fun () ->
+        let g = run_graph base "MATCH (n) REMOVE n.x, n:A, n.y" in
+        Alcotest.(check (list string)) "keys" []
+          (Props.keys (the_node g).Graph.n_props);
+        Alcotest.(check (list string)) "labels" [ "B" ]
+          (Graph.labels_of g (the_node g).Graph.n_id));
+    case "remove relationship property" (fun () ->
+        let g = graph_of "CREATE (:A)-[:T {w: 1}]->(:B)" in
+        let g = run_graph g "MATCH ()-[r]->() REMOVE r.w" in
+        Alcotest.(check bool) "empty" true
+          (Props.is_empty (List.hd (Graph.rels g)).Graph.r_props));
+    case "legacy and revised REMOVE agree" (fun () ->
+        let src = "MATCH (n) REMOVE n.x, n:B" in
+        Alcotest.check graph_iso_testable "same"
+          (run_graph ~config:Cypher_core.Config.cypher9 base src)
+          (run_graph ~config:Cypher_core.Config.revised base src));
+  ]

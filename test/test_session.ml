@@ -1,0 +1,149 @@
+(** Sessions and transactions; Cypher dump round-trips. *)
+
+open Cypher_graph
+open Test_util
+module Session = Cypher_core.Session
+module Config = Cypher_core.Config
+module Api = Cypher_core.Api
+module Errors = Cypher_core.Errors
+
+let run_ok s src =
+  match Session.run s src with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "session run failed: %s" (Errors.to_string e)
+
+let session_tests =
+  [
+    case "statements advance the session graph" (fun () ->
+        let s = Session.create Graph.empty in
+        ignore (run_ok s "CREATE (:A)");
+        ignore (run_ok s "CREATE (:B)");
+        Alcotest.(check int) "two" 2 (Graph.node_count (Session.graph s)));
+    case "failing statements leave the graph untouched" (fun () ->
+        let s = Session.create Graph.empty in
+        ignore (run_ok s "CREATE (:A)-[:T]->(:B)");
+        (match Session.run s "MATCH (a:A) DELETE a" with
+        | Error (Errors.Delete_dangling _) -> ()
+        | _ -> Alcotest.fail "expected delete to fail");
+        Alcotest.(check int) "unchanged" 2 (Graph.node_count (Session.graph s));
+        Alcotest.(check bool) "wellformed" true
+          (Graph.is_wellformed (Session.graph s)));
+    case "rollback restores the snapshot" (fun () ->
+        let s = Session.create Graph.empty in
+        ignore (run_ok s "CREATE (:Keep)");
+        Session.begin_tx s;
+        ignore (run_ok s "CREATE (:Discard), (:Discard)");
+        Alcotest.(check int) "inside tx" 3 (Graph.node_count (Session.graph s));
+        (match Session.rollback s with Ok () -> () | Error m -> Alcotest.fail m);
+        Alcotest.(check int) "after rollback" 1
+          (Graph.node_count (Session.graph s)));
+    case "commit keeps the changes" (fun () ->
+        let s = Session.create Graph.empty in
+        Session.begin_tx s;
+        ignore (run_ok s "CREATE (:N)");
+        (match Session.commit s with Ok () -> () | Error m -> Alcotest.fail m);
+        Alcotest.(check int) "kept" 1 (Graph.node_count (Session.graph s));
+        Alcotest.(check bool) "tx closed" false (Session.in_transaction s));
+    case "transactions nest" (fun () ->
+        let s = Session.create Graph.empty in
+        Session.begin_tx s;
+        ignore (run_ok s "CREATE (:Outer)");
+        Session.begin_tx s;
+        ignore (run_ok s "CREATE (:Inner)");
+        Alcotest.(check int) "depth" 2 (Session.depth s);
+        (match Session.rollback s with Ok () -> () | Error m -> Alcotest.fail m);
+        Alcotest.(check int) "inner undone" 1 (Graph.node_count (Session.graph s));
+        (match Session.commit s with Ok () -> () | Error m -> Alcotest.fail m);
+        Alcotest.(check int) "outer kept" 1 (Graph.node_count (Session.graph s)));
+    case "commit or rollback without a transaction is an error" (fun () ->
+        let s = Session.create Graph.empty in
+        Alcotest.(check bool) "commit" true (Session.commit s = Error "no transaction in progress");
+        Alcotest.(check bool) "rollback" true
+          (Session.rollback s = Error "no transaction in progress"));
+    case "reset drops graph and transactions" (fun () ->
+        let s = Session.create Graph.empty in
+        Session.begin_tx s;
+        ignore (run_ok s "CREATE (:N)");
+        Session.reset s;
+        Alcotest.(check int) "empty" 0 (Graph.node_count (Session.graph s));
+        Alcotest.(check bool) "no tx" false (Session.in_transaction s));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Dump round-trips                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let reload g =
+  let script = Dump.to_cypher g in
+  if script = "" then Graph.empty
+  else
+    match Api.run_program ~config:Cypher_core.Config.revised Graph.empty script with
+    | Ok (g', _) -> g'
+    | Error e -> Alcotest.failf "dump did not reload: %s\n%s" (Errors.to_string e) script
+
+let dump_tests =
+  [
+    case "empty graph dumps to the empty script" (fun () ->
+        Alcotest.(check string) "empty" "" (Dump.to_cypher Graph.empty));
+    case "dump round-trips a small graph" (fun () ->
+        let g =
+          graph_of
+            "CREATE (a:User {id: 1, name: 'it\\'s'})-[:KNOWS {since: 1999}]->\n\
+             (b:User:Admin {id: 2}), (c {weird: [1, 'x', true]}), (a)-[:T]->(a)"
+        in
+        Alcotest.check graph_iso_testable "isomorphic" g (reload g));
+    case "dump quotes non-plain identifiers" (fun () ->
+        let _, g =
+          Graph.create_node ~labels:[ "Oddly Labeled" ]
+            ~props:(Props.of_list [ ("strange key", vint 1) ])
+            Graph.empty
+        in
+        Alcotest.check graph_iso_testable "isomorphic" g (reload g));
+    case "dump round-trips the paper fixtures" (fun () ->
+        List.iter
+          (fun g -> Alcotest.check graph_iso_testable "isomorphic" g (reload g))
+          [
+            Cypher_paper.Fixtures.figure1_graph;
+            Cypher_paper.Fixtures.figure7a;
+            Cypher_paper.Fixtures.figure8b;
+            Cypher_paper.Fixtures.figure9a;
+          ]);
+  ]
+
+(* random graph generator for the round-trip property *)
+let gen_graph =
+  QCheck.Gen.(
+    let gen_label = oneofl [ "A"; "B"; "C" ] in
+    let gen_value =
+      oneof
+        [
+          map (fun i -> Value.Int i) small_signed_int;
+          map (fun s -> Value.String s) (oneofl [ "x"; "it's"; "a,b" ]);
+          return (Value.Bool true);
+          return (Value.Float 1.5);
+        ]
+    in
+    let gen_node =
+      pair (list_size (int_bound 2) gen_label)
+        (list_size (int_bound 2) (pair (oneofl [ "k"; "v"; "w" ]) gen_value))
+    in
+    map2
+      (fun nodes raw_rels ->
+        let n = List.length nodes in
+        let rels =
+          List.map (fun (a, ty, b) -> (a mod n, ty, b mod n)) raw_rels
+        in
+        Cypher_paper.Fixtures.build nodes rels)
+      (list_size (int_range 1 6) gen_node)
+      (list_size (int_bound 8)
+         (triple (int_bound 5) (oneofl [ "T"; "U" ]) (int_bound 5))))
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"dump round-trip is isomorphic" ~count:100
+         (QCheck.make ~print:Graph.to_string gen_graph)
+         (fun g -> Iso.isomorphic g (reload g)));
+  ]
+
+let suite = session_tests @ dump_tests @ qcheck_tests

@@ -1,0 +1,128 @@
+(** SET under both regimes: Example 1 (simultaneity), Example 2
+    (conflicts), map replacement and merging, labels, null targets. *)
+
+open Cypher_graph
+open Test_util
+module Config = Cypher_core.Config
+module Errors = Cypher_core.Errors
+
+let prop g label key =
+  let n =
+    List.find (fun (n : Graph.node) -> Graph.has_label g n.Graph.n_id label)
+      (Graph.nodes g)
+  in
+  Props.get n.Graph.n_props key
+
+let two = graph_of "CREATE (:A {v: 1}), (:B {v: 2})"
+
+let atomic_tests =
+  [
+    case "Example 1: atomic SET swaps simultaneously" (fun () ->
+        let g =
+          run_graph two "MATCH (a:A), (b:B) SET a.v = b.v, b.v = a.v"
+        in
+        check_value "a" (vint 2) (prop g "A" "v");
+        check_value "b" (vint 1) (prop g "B" "v"));
+    case "Example 2: conflicting assignments abort" (fun () ->
+        let g = graph_of "CREATE (:T), (:S {v: 1}), (:S {v: 2})" in
+        match run_err g "MATCH (t:T), (s:S) SET t.v = s.v" with
+        | Errors.Set_conflict { key = "v"; _ } -> ()
+        | e -> Alcotest.failf "wrong error: %s" (Errors.to_string e));
+    case "agreeing assignments from several rows are fine" (fun () ->
+        let g = graph_of "CREATE (:T), (:S {v: 7}), (:S {v: 7})" in
+        let g = run_graph g "MATCH (t:T), (s:S) SET t.v = s.v" in
+        check_value "set" (vint 7) (prop g "T" "v"));
+    case "values are read from the input graph across clauses too" (fun () ->
+        (* two separate SET clauses still see each other's output (it is
+           the clause that is atomic, not the statement) *)
+        let g = run_graph two "MATCH (a:A), (b:B) SET a.v = b.v SET b.v = a.v" in
+        check_value "a" (vint 2) (prop g "A" "v");
+        check_value "b" (vint 2) (prop g "B" "v"));
+    case "SET on a null binding is a no-op" (fun () ->
+        let g = run_graph two "OPTIONAL MATCH (x:Missing) SET x.v = 9" in
+        Alcotest.(check int) "unchanged" 2 (Graph.node_count g));
+    case "SET property to null removes it" (fun () ->
+        let g = run_graph two "MATCH (a:A) SET a.v = null" in
+        check_value "gone" vnull (prop g "A" "v"));
+    case "SET += merges property maps" (fun () ->
+        let g = run_graph two "MATCH (a:A) SET a += {w: 9, v: 5}" in
+        check_value "overwritten" (vint 5) (prop g "A" "v");
+        check_value "added" (vint 9) (prop g "A" "w"));
+    case "SET = replaces the whole property map" (fun () ->
+        let g = run_graph two "MATCH (a:A) SET a = {only: 1}" in
+        check_value "old gone" vnull (prop g "A" "v");
+        check_value "new there" (vint 1) (prop g "A" "only"));
+    case "SET = from another entity copies its properties" (fun () ->
+        let g = run_graph two "MATCH (a:A), (b:B) SET a = b" in
+        check_value "copied" (vint 2) (prop g "A" "v"));
+    case "conflicting whole-map replacements abort" (fun () ->
+        let g = graph_of "CREATE (:T), (:S {v: 1}), (:S {v: 2})" in
+        match run_err g "MATCH (t:T), (s:S) SET t = s" with
+        | Errors.Set_conflict _ -> ()
+        | e -> Alcotest.failf "wrong error: %s" (Errors.to_string e));
+    case "replacement and agreeing point-set coexist" (fun () ->
+        let g = run_graph two "MATCH (a:A) SET a = {v: 3}, a.v = 3" in
+        check_value "agreed" (vint 3) (prop g "A" "v"));
+    case "replacement and disagreeing point-set abort" (fun () ->
+        match run_err two "MATCH (a:A) SET a = {v: 3}, a.v = 4" with
+        | Errors.Set_conflict _ -> ()
+        | e -> Alcotest.failf "wrong error: %s" (Errors.to_string e));
+    case "SET adds labels" (fun () ->
+        let g = run_graph two "MATCH (a:A) SET a:X:Y" in
+        let n =
+          List.find (fun (n : Graph.node) -> Graph.has_label g n.Graph.n_id "A")
+            (Graph.nodes g)
+        in
+        Alcotest.(check (list string)) "labels" [ "A"; "X"; "Y" ]
+          (Graph.labels_of g n.Graph.n_id));
+    case "SET labels on a relationship is an error" (fun () ->
+        let g = graph_of "CREATE (:A)-[:T]->(:B)" in
+        match run_err g "MATCH ()-[r]->() SET r:L" with
+        | Errors.Update_error _ -> ()
+        | e -> Alcotest.failf "wrong error: %s" (Errors.to_string e));
+    case "SET on relationships works for properties" (fun () ->
+        let g = graph_of "CREATE (:A)-[:T]->(:B)" in
+        let g = run_graph g "MATCH ()-[r]->() SET r.w = 3" in
+        let r = List.hd (Graph.rels g) in
+        check_value "w" (vint 3) (Props.get r.Graph.r_props "w"));
+    case "order independence of atomic SET" (fun () ->
+        let g = graph_of "CREATE (:N {v: 1}), (:N {v: 2}), (:N {v: 3})" in
+        let run order =
+          run_graph
+            ~config:(Config.with_order order Config.revised)
+            g "MATCH (n:N) SET n.v = n.v * 10"
+        in
+        Alcotest.check graph_iso_testable "forward = reverse"
+          (run Config.Forward) (run Config.Reverse));
+  ]
+
+let legacy_tests =
+  [
+    case "Example 1 under legacy: last write is a no-op" (fun () ->
+        let g =
+          run_graph ~config:Config.cypher9 two
+            "MATCH (a:A), (b:B) SET a.v = b.v, b.v = a.v"
+        in
+        check_value "a" (vint 2) (prop g "A" "v");
+        check_value "b" (vint 2) (prop g "B" "v"));
+    case "Example 2 under legacy: silent last-writer-wins" (fun () ->
+        let g = graph_of "CREATE (:T), (:S {v: 1}), (:S {v: 2})" in
+        let forward =
+          run_graph ~config:Config.cypher9 g "MATCH (t:T), (s:S) SET t.v = s.v"
+        in
+        let reverse =
+          run_graph
+            ~config:(Config.with_order Config.Reverse Config.cypher9)
+            g "MATCH (t:T), (s:S) SET t.v = s.v"
+        in
+        (* both go through, but with different results: nondeterminism *)
+        Alcotest.(check bool) "order leaks" false
+          (Value.equal_strict (prop forward "T" "v") (prop reverse "T" "v")));
+    case "legacy and atomic agree on conflict-free workloads" (fun () ->
+        let src = "MATCH (n) SET n.w = n.v * 2" in
+        Alcotest.check graph_iso_testable "same"
+          (run_graph ~config:Config.cypher9 two src)
+          (run_graph ~config:Config.revised two src));
+  ]
+
+let suite = atomic_tests @ legacy_tests

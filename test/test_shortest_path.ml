@@ -1,0 +1,101 @@
+(** shortestPath / allShortestPaths: BFS between bound endpoints. *)
+
+open Test_util
+module Errors = Cypher_core.Errors
+
+(* a diamond with a long detour:
+   a -> b1 -> c, a -> b2 -> c (two 2-hop routes), a -> d -> e -> c (3 hops),
+   plus a direct back-edge c -> a *)
+let g =
+  graph_of
+    "CREATE (a:N {name: 'a'}), (b1:N {name: 'b1'}), (b2:N {name: 'b2'}),\n\
+    \       (c:N {name: 'c'}), (d:N {name: 'd'}), (e:N {name: 'e'})\n\
+     WITH a, b1, b2, c, d, e\n\
+     CREATE (a)-[:T]->(b1), (b1)-[:T]->(c), (a)-[:T]->(b2), (b2)-[:T]->(c),\n\
+    \       (a)-[:T]->(d), (d)-[:T]->(e), (e)-[:T]->(c), (c)-[:T]->(a)"
+
+let suite =
+  [
+    case "finds a shortest path" (fun () ->
+        let t =
+          run_table g
+            "MATCH (a:N {name: 'a'}), (c:N {name: 'c'})\n\
+             RETURN length(shortestPath((a)-[:T*]->(c))) AS l"
+        in
+        check_value "two hops" (vint 2) (first_cell t));
+    case "allShortestPaths finds every minimal route" (fun () ->
+        let t =
+          run_table g
+            "MATCH (a:N {name: 'a'}), (c:N {name: 'c'})\n\
+             RETURN size(allShortestPaths((a)-[:T*]->(c))) AS n"
+        in
+        check_value "two routes" (vint 2) (first_cell t));
+    case "respects direction" (fun () ->
+        let t =
+          run_table g
+            "MATCH (a:N {name: 'a'}), (c:N {name: 'c'})\n\
+             RETURN length(shortestPath((c)-[:T*]->(a))) AS l"
+        in
+        check_value "back edge" (vint 1) (first_cell t));
+    case "undirected search" (fun () ->
+        let t =
+          run_table g
+            "MATCH (a:N {name: 'a'}), (c:N {name: 'c'})\n\
+             RETURN length(shortestPath((a)-[:T*]-(c))) AS l"
+        in
+        (* the undirected view has the 1-hop c->a edge available *)
+        check_value "one hop" (vint 1) (first_cell t));
+    case "no path yields null / empty list" (fun () ->
+        let g2 = graph_of "CREATE (x:X), (y:Y)" in
+        let t =
+          run_table g2
+            "MATCH (x:X), (y:Y) RETURN shortestPath((x)-[:T*]->(y)) AS p,\n\
+             allShortestPaths((x)-[:T*]->(y)) AS ps"
+        in
+        let row = List.hd (Cypher_table.Table.rows t) in
+        check_value "null" vnull (Cypher_table.Record.find row "p");
+        check_value "empty" (vlist []) (Cypher_table.Record.find row "ps"));
+    case "zero-length when endpoints coincide and range admits it" (fun () ->
+        let t =
+          run_table g
+            "MATCH (a:N {name: 'a'}) RETURN length(shortestPath((a)-[:T*0..]->(a))) AS l"
+        in
+        check_value "zero" (vint 0) (first_cell t));
+    case "type filter applies" (fun () ->
+        let t =
+          run_table g
+            "MATCH (a:N {name: 'a'}), (c:N {name: 'c'})\n\
+             RETURN shortestPath((a)-[:NOPE*]->(c)) AS p"
+        in
+        check_value "null" vnull (first_cell t));
+    case "upper bound limits the search" (fun () ->
+        let g2 = graph_of "CREATE (:P {k: 1})-[:T]->(:P {k: 2})-[:T]->(:P {k: 3})" in
+        let t =
+          run_table g2
+            "MATCH (x:P {k: 1}), (z:P {k: 3})\n\
+             RETURN shortestPath((x)-[:T*..1]->(z)) AS p"
+        in
+        check_value "too far" vnull (first_cell t));
+    case "path components are usable" (fun () ->
+        let t =
+          run_table g
+            "MATCH (a:N {name: 'a'}), (c:N {name: 'c'})\n\
+             WITH shortestPath((a)-[:T*]->(c)) AS p\n\
+             RETURN [n IN nodes(p) | n.name][0] AS first, size(relationships(p)) AS m"
+        in
+        let row = List.hd (Cypher_table.Table.rows t) in
+        check_value "starts at a" (vstr "a") (Cypher_table.Record.find row "first");
+        check_value "two rels" (vint 2) (Cypher_table.Record.find row "m"));
+    case "unbound endpoints are an error" (fun () ->
+        match run_err g "RETURN shortestPath((a)-[:T*]->(b)) AS p" with
+        | Errors.Eval_error _ -> ()
+        | e -> Alcotest.failf "wrong error: %s" (Errors.to_string e));
+    case "non-var-length patterns are rejected" (fun () ->
+        match
+          run_err g
+            "MATCH (a:N {name: 'a'}), (c:N {name: 'c'})\n\
+             RETURN shortestPath((a)-[:T]->(c)) AS p"
+        with
+        | Errors.Eval_error _ -> ()
+        | e -> Alcotest.failf "wrong error: %s" (Errors.to_string e));
+  ]

@@ -1,0 +1,68 @@
+(** Ternary-logic laws — unit cases plus qcheck algebraic properties. *)
+
+open Cypher_graph
+open Test_util
+
+let all3 = [ Tri.True; Tri.False; Tri.Unknown ]
+
+let tri_gen = QCheck.Gen.oneofl all3
+let tri_arb = QCheck.make ~print:(Fmt.str "%a" Tri.pp) tri_gen
+
+let check_tri = Alcotest.check tri_testable
+
+let unit_tests =
+  [
+    case "negation" (fun () ->
+        check_tri "not true" Tri.False (Tri.neg Tri.True);
+        check_tri "not false" Tri.True (Tri.neg Tri.False);
+        check_tri "not unknown" Tri.Unknown (Tri.neg Tri.Unknown));
+    case "conjunction truth table" (fun () ->
+        check_tri "t&&t" Tri.True (Tri.conj Tri.True Tri.True);
+        check_tri "t&&u" Tri.Unknown (Tri.conj Tri.True Tri.Unknown);
+        check_tri "f&&u" Tri.False (Tri.conj Tri.False Tri.Unknown);
+        check_tri "u&&u" Tri.Unknown (Tri.conj Tri.Unknown Tri.Unknown));
+    case "disjunction truth table" (fun () ->
+        check_tri "f||f" Tri.False (Tri.disj Tri.False Tri.False);
+        check_tri "t||u" Tri.True (Tri.disj Tri.True Tri.Unknown);
+        check_tri "f||u" Tri.Unknown (Tri.disj Tri.False Tri.Unknown));
+    case "xor truth table" (fun () ->
+        check_tri "t^t" Tri.False (Tri.xor Tri.True Tri.True);
+        check_tri "t^f" Tri.True (Tri.xor Tri.True Tri.False);
+        check_tri "t^u" Tri.Unknown (Tri.xor Tri.True Tri.Unknown);
+        check_tri "u^u" Tri.Unknown (Tri.xor Tri.Unknown Tri.Unknown));
+    case "where-filter keeps only true" (fun () ->
+        Alcotest.(check bool) "true" true (Tri.to_bool_where Tri.True);
+        Alcotest.(check bool) "false" false (Tri.to_bool_where Tri.False);
+        Alcotest.(check bool) "unknown" false (Tri.to_bool_where Tri.Unknown));
+    case "of_bool round trip" (fun () ->
+        check_tri "true" Tri.True (Tri.of_bool true);
+        check_tri "false" Tri.False (Tri.of_bool false));
+  ]
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck.Test.make ~name:"De Morgan: not (a && b) = not a || not b"
+        ~count:200 (QCheck.pair tri_arb tri_arb) (fun (a, b) ->
+          Tri.neg (Tri.conj a b) = Tri.disj (Tri.neg a) (Tri.neg b));
+      QCheck.Test.make ~name:"De Morgan: not (a || b) = not a && not b"
+        ~count:200 (QCheck.pair tri_arb tri_arb) (fun (a, b) ->
+          Tri.neg (Tri.disj a b) = Tri.conj (Tri.neg a) (Tri.neg b));
+      QCheck.Test.make ~name:"conj commutative" ~count:200
+        (QCheck.pair tri_arb tri_arb) (fun (a, b) ->
+          Tri.conj a b = Tri.conj b a);
+      QCheck.Test.make ~name:"disj commutative" ~count:200
+        (QCheck.pair tri_arb tri_arb) (fun (a, b) ->
+          Tri.disj a b = Tri.disj b a);
+      QCheck.Test.make ~name:"conj associative" ~count:200
+        (QCheck.triple tri_arb tri_arb tri_arb) (fun (a, b, c) ->
+          Tri.conj a (Tri.conj b c) = Tri.conj (Tri.conj a b) c);
+      QCheck.Test.make ~name:"double negation" ~count:200 tri_arb (fun a ->
+          Tri.neg (Tri.neg a) = a);
+      QCheck.Test.make ~name:"xor via and/or/not" ~count:200
+        (QCheck.pair tri_arb tri_arb) (fun (a, b) ->
+          Tri.xor a b
+          = Tri.conj (Tri.disj a b) (Tri.neg (Tri.conj a b)));
+    ]
+
+let suite = unit_tests @ qcheck_tests

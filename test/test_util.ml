@@ -1,0 +1,59 @@
+(** Shared helpers for the test suite. *)
+
+open Cypher_graph
+open Cypher_table
+open Cypher_core
+
+let value_testable : Value.t Alcotest.testable =
+  Alcotest.testable Value.pp Value.equal_strict
+
+let tri_testable : Tri.t Alcotest.testable = Alcotest.testable Tri.pp Tri.equal
+
+let record_testable : Record.t Alcotest.testable =
+  Alcotest.testable Record.pp Record.equal
+
+let graph_iso_testable : Graph.t Alcotest.testable =
+  Alcotest.testable Graph.pp Iso.isomorphic
+
+let case name f = Alcotest.test_case name `Quick f
+
+(** Runs a statement, failing the test on error. *)
+let run ?(config = Config.revised) graph src =
+  match Api.run_string ~config graph src with
+  | Ok o -> o
+  | Error e -> Alcotest.failf "query failed: %s\nquery: %s" (Errors.to_string e) src
+
+let run_graph ?config graph src = (run ?config graph src).Api.graph
+let run_table ?config graph src = (run ?config graph src).Api.table
+
+(** Runs a statement and asserts it fails, returning the error. *)
+let run_err ?(config = Config.revised) graph src : Errors.t =
+  match Api.run_string ~config graph src with
+  | Ok _ -> Alcotest.failf "query unexpectedly succeeded: %s" src
+  | Error e -> e
+
+(** Builds a graph from Cypher CREATE statements. *)
+let graph_of src = run_graph Graph.empty src
+
+(** The single values of a one-column result table. *)
+let column t name = List.map (fun r -> Record.find r name) (Table.rows t)
+
+let first_cell t =
+  match Table.rows t with
+  | row :: _ -> (
+      match Table.columns t with
+      | c :: _ -> Record.find row c
+      | [] -> Alcotest.fail "result table has no columns")
+  | [] -> Alcotest.fail "result table has no rows"
+
+(** Asserts the table has exactly the given number of rows. *)
+let check_rows name n t = Alcotest.(check int) name n (Table.row_count t)
+
+let check_value name expected actual =
+  Alcotest.check value_testable name expected actual
+
+let vint n = Value.Int n
+let vstr s = Value.String s
+let vbool b = Value.Bool b
+let vnull = Value.Null
+let vlist l = Value.List l

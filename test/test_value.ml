@@ -1,0 +1,145 @@
+(** Values: ternary equality, total order, printing. *)
+
+open Cypher_graph
+open Test_util
+
+let check_tri = Alcotest.check tri_testable
+
+let equality_tests =
+  [
+    case "null = null is unknown" (fun () ->
+        check_tri "null" Tri.Unknown (Value.equal_tri vnull vnull));
+    case "null = 1 is unknown" (fun () ->
+        check_tri "null" Tri.Unknown (Value.equal_tri vnull (vint 1)));
+    case "int/float cross equality" (fun () ->
+        check_tri "1 = 1.0" Tri.True (Value.equal_tri (vint 1) (Value.Float 1.0));
+        check_tri "1 = 1.5" Tri.False (Value.equal_tri (vint 1) (Value.Float 1.5)));
+    case "different families are not equal" (fun () ->
+        check_tri "1 = 'a'" Tri.False (Value.equal_tri (vint 1) (vstr "a"));
+        check_tri "true = 1" Tri.False (Value.equal_tri (vbool true) (vint 1)));
+    case "list equality is pointwise" (fun () ->
+        check_tri "[1,2] = [1,2]" Tri.True
+          (Value.equal_tri (vlist [ vint 1; vint 2 ]) (vlist [ vint 1; vint 2 ]));
+        check_tri "[1,2] = [1,3]" Tri.False
+          (Value.equal_tri (vlist [ vint 1; vint 2 ]) (vlist [ vint 1; vint 3 ]));
+        check_tri "length mismatch" Tri.False
+          (Value.equal_tri (vlist [ vint 1 ]) (vlist [ vint 1; vint 2 ])))
+    ;
+    case "null inside lists makes equality unknown" (fun () ->
+        check_tri "[1,null] = [1,null]" Tri.Unknown
+          (Value.equal_tri (vlist [ vint 1; vnull ]) (vlist [ vint 1; vnull ]));
+        check_tri "[1,null] = [2,null]" Tri.False
+          (Value.equal_tri (vlist [ vint 1; vnull ]) (vlist [ vint 2; vnull ])));
+    case "map equality" (fun () ->
+        let m1 = Value.map_of_list [ ("a", vint 1); ("b", vint 2) ] in
+        let m2 = Value.map_of_list [ ("b", vint 2); ("a", vint 1) ] in
+        let m3 = Value.map_of_list [ ("a", vint 1) ] in
+        check_tri "same bindings" Tri.True (Value.equal_tri m1 m2);
+        check_tri "different keys" Tri.False (Value.equal_tri m1 m3));
+    case "nodes compare by identity" (fun () ->
+        check_tri "same id" Tri.True (Value.equal_tri (Value.Node 3) (Value.Node 3));
+        check_tri "different id" Tri.False
+          (Value.equal_tri (Value.Node 3) (Value.Node 4)));
+    case "strict equality treats null = null" (fun () ->
+        Alcotest.(check bool) "null" true (Value.equal_strict vnull vnull);
+        Alcotest.(check bool) "1 vs 1.0" true
+          (Value.equal_strict (vint 1) (Value.Float 1.0)))
+    ;
+  ]
+
+let ordering_tests =
+  [
+    case "numbers order across int/float" (fun () ->
+        Alcotest.(check bool) "1 < 1.5" true
+          (Value.compare_total (vint 1) (Value.Float 1.5) < 0);
+        Alcotest.(check bool) "2 > 1.5" true
+          (Value.compare_total (vint 2) (Value.Float 1.5) > 0));
+    case "null sorts last" (fun () ->
+        Alcotest.(check bool) "int before null" true
+          (Value.compare_total (vint 1) vnull < 0);
+        Alcotest.(check bool) "string before null" true
+          (Value.compare_total (vstr "z") vnull < 0));
+    case "string before bool before number (global order)" (fun () ->
+        Alcotest.(check bool) "string < bool" true
+          (Value.compare_total (vstr "a") (vbool true) < 0);
+        Alcotest.(check bool) "bool < number" true
+          (Value.compare_total (vbool true) (vint 0) < 0));
+    case "comparison operator is unknown across families" (fun () ->
+        Alcotest.(check bool) "1 < 'a' undecidable" true
+          (Value.compare_tri (vint 1) (vstr "a") = Error ());
+        Alcotest.(check bool) "null < 1 undecidable" true
+          (Value.compare_tri vnull (vint 1) = Error ()));
+    case "comparison operator on same family" (fun () ->
+        Alcotest.(check bool) "1 < 2" true (Value.compare_tri (vint 1) (vint 2) = Ok (-1));
+        Alcotest.(check bool) "'a' < 'b'" true
+          (match Value.compare_tri (vstr "a") (vstr "b") with
+          | Ok c -> c < 0
+          | Error () -> false));
+  ]
+
+let printing_tests =
+  [
+    case "literals print in Cypher syntax" (fun () ->
+        Alcotest.(check string) "int" "42" (Value.to_string (vint 42));
+        Alcotest.(check string) "string" "'hi'" (Value.to_string (vstr "hi"));
+        Alcotest.(check string) "null" "null" (Value.to_string vnull);
+        Alcotest.(check string) "bool" "true" (Value.to_string (vbool true));
+        Alcotest.(check string) "float" "1.5" (Value.to_string (Value.Float 1.5));
+        Alcotest.(check string) "whole float" "2.0" (Value.to_string (Value.Float 2.0)));
+    case "strings escape quotes" (fun () ->
+        Alcotest.(check string) "escape" "'it\\'s'" (Value.to_string (vstr "it's")));
+    case "lists and maps" (fun () ->
+        Alcotest.(check string) "list" "[1, 2]"
+          (Value.to_string (vlist [ vint 1; vint 2 ]));
+        Alcotest.(check string) "map" "{a: 1}"
+          (Value.to_string (Value.map_of_list [ ("a", vint 1) ])));
+  ]
+
+(* qcheck: compare_total is a total order consistent with equal_strict *)
+let value_gen =
+  let open QCheck.Gen in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 0 then
+            oneof
+              [
+                return Value.Null;
+                map (fun b -> Value.Bool b) bool;
+                map (fun i -> Value.Int i) small_signed_int;
+                map (fun f -> Value.Float f) (float_bound_inclusive 100.);
+                map (fun s -> Value.String s) (string_size (int_bound 6));
+              ]
+          else
+            frequency
+              [
+                (3, self 0);
+                (1, map (fun l -> Value.List l) (list_size (int_bound 4) (self (n / 2))));
+              ])
+        (min n 4))
+
+let value_arb = QCheck.make ~print:Value.to_string value_gen
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck.Test.make ~name:"compare_total reflexive" ~count:300 value_arb
+        (fun v -> Value.compare_total v v = 0);
+      QCheck.Test.make ~name:"compare_total antisymmetric" ~count:300
+        (QCheck.pair value_arb value_arb) (fun (a, b) ->
+          let c1 = Value.compare_total a b and c2 = Value.compare_total b a in
+          (c1 = 0 && c2 = 0) || (c1 < 0 && c2 > 0) || (c1 > 0 && c2 < 0));
+      QCheck.Test.make ~name:"compare_total transitive" ~count:300
+        (QCheck.triple value_arb value_arb value_arb) (fun (a, b, c) ->
+          let ( <= ) x y = Value.compare_total x y <= 0 in
+          if a <= b && b <= c then a <= c else true);
+      QCheck.Test.make ~name:"equal_strict iff compare_total = 0" ~count:300
+        (QCheck.pair value_arb value_arb) (fun (a, b) ->
+          Value.equal_strict a b = (Value.compare_total a b = 0));
+      QCheck.Test.make ~name:"equal_tri True implies equal_strict" ~count:300
+        (QCheck.pair value_arb value_arb) (fun (a, b) ->
+          if Value.equal_tri a b = Tri.True then Value.equal_strict a b
+          else true);
+    ]
+
+let suite = equality_tests @ ordering_tests @ printing_tests @ qcheck_tests
