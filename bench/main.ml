@@ -54,6 +54,10 @@ let q_2hop =
      count(*) AS n"
 let q_1hop = parse_q "MATCH (u:User)-[:ORDERED]->(p:Product) RETURN count(*) AS n"
 
+(* point lookup: one user out of 680, by property equality *)
+let q_point = parse_q "MATCH (u:User {id: 100042}) RETURN u.name AS name"
+let market1000_indexed = Graph.add_prop_index ~label:"User" ~key:"id" market1000
+
 let merge_src = Fixtures.example5_merge
 
 let merge_graph mode table () =
@@ -130,6 +134,17 @@ let tests =
         Sys.opaque_identity (run_q Config.revised market100 q_2hop));
     t "match/2hop/n=1000" (fun () ->
         Sys.opaque_identity (run_q Config.revised market1000 q_2hop));
+    (* ablation: same workload with cost-guided planning disabled —
+       naive left-to-right anchoring on the 680-user label bucket *)
+    t "match/2hop/n=1000/planner-off" (fun () ->
+        Sys.opaque_identity
+          (run_q (Config.with_planner Config.Off Config.revised) market1000
+             q_2hop));
+    (* point lookup: label scan vs registered property index *)
+    t "match/point/label-scan" (fun () ->
+        Sys.opaque_identity (run_q Config.revised market1000 q_point));
+    t "match/point/prop-index" (fun () ->
+        Sys.opaque_identity (run_q Config.revised market1000_indexed q_point));
     t "match/figure1-query1" (fun () ->
         Sys.opaque_identity (run_q Config.revised Fixtures.figure1_graph q_read));
     (* ablation: homomorphic matching drops the used-relationship
@@ -224,17 +239,74 @@ let pretty_time ns =
   else if ns >= 1e3 then Printf.sprintf "%10.2f us" (ns /. 1e3)
   else Printf.sprintf "%10.2f ns" ns
 
+(** Runs one test, returning (name, ns/run); [None] estimate when the
+    OLS fit failed. *)
+let run_test test : (string * float option) list =
+  let results = benchmark test in
+  Hashtbl.fold
+    (fun name ols acc ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some [ est ] -> Some est
+        | _ -> None
+      in
+      (name, est) :: acc)
+    results []
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(** Writes [name → ns/run] as a flat JSON object, machine-readable so
+    the perf trajectory is trackable across changes (EXPERIMENTS.md). *)
+let write_json path results =
+  let oc = open_out path in
+  output_string oc "{\n";
+  let kept = List.filter (fun (_, est) -> est <> None) results in
+  List.iteri
+    (fun i (name, est) ->
+      let ns = match est with Some ns -> ns | None -> assert false in
+      Printf.fprintf oc "  \"%s\": %.2f%s\n" (json_escape name) ns
+        (if i = List.length kept - 1 then "" else ","))
+    kept;
+  output_string oc "}\n";
+  close_out oc
+
 let () =
-  Printf.printf "%-28s %13s\n" "benchmark" "time/run";
-  Printf.printf "%s\n" (String.make 42 '-');
-  List.iter
-    (fun test ->
-      let results = benchmark test in
-      Hashtbl.iter
-        (fun name ols ->
-          match Analyze.OLS.estimates ols with
-          | Some [ est ] ->
-              Printf.printf "%-28s %13s\n%!" name (pretty_time est)
-          | _ -> Printf.printf "%-28s %13s\n%!" name "n/a")
-        results)
-    tests
+  let json_path =
+    match Array.to_list Sys.argv with
+    | _ :: "--json" :: path :: _ -> Some path
+    | _ :: [ "--json" ] -> Some "BENCH_results.json"
+    | _ -> None
+  in
+  Printf.printf "%-32s %13s\n" "benchmark" "time/run";
+  Printf.printf "%s\n" (String.make 46 '-');
+  let results =
+    List.concat_map
+      (fun test ->
+        let rs = run_test test in
+        List.iter
+          (fun (name, est) ->
+            let time =
+              match est with Some ns -> pretty_time ns | None -> "n/a"
+            in
+            Printf.printf "%-32s %13s\n%!" name time)
+          rs;
+        rs)
+      tests
+  in
+  match json_path with
+  | None -> ()
+  | Some path ->
+      write_json path results;
+      Printf.printf "\nwrote %s\n" path

@@ -1,0 +1,7 @@
+#!/bin/sh
+# Build and run the benchmark suite, capturing machine-readable results
+# in BENCH_results.json (name -> ns/run) at the repository root.
+set -e
+cd "$(dirname "$0")/.."
+dune build @bench
+exec dune exec bench/main.exe -- --json "$@"

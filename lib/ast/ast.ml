@@ -273,6 +273,72 @@ let rec expr_has_agg = function
       expr_has_agg red_init || expr_has_agg red_source
       || expr_has_agg red_body
 
+(** Free variable occurrences of an expression, with duplicates:
+    variables the expression reads that are not bound locally by a list
+    comprehension, quantifier or [reduce].  Variables appearing in
+    pattern positions (pattern predicates and comprehensions,
+    [shortestPath]) are over-approximated as free.  Used by the match
+    planner to decide whether an expression is evaluable under a given
+    set of bindings — an over-approximation only costs planning
+    opportunities, never correctness. *)
+let expr_free_vars e =
+  let opt bound acc go = function None -> acc | Some e -> go bound acc e in
+  let rec go bound acc = function
+    | Var v -> if List.mem v bound then acc else v :: acc
+    | Lit _ | Param _ -> acc
+    | Prop (e, _) | Has_labels (e, _) | Not e | Neg e | Is_null e
+    | Is_not_null e ->
+        go bound acc e
+    | And (a, b) | Or (a, b) | Xor (a, b) | Cmp (_, a, b) | Bin (_, a, b)
+    | Index (a, b) | Str_op (_, a, b) | In_list (a, b) ->
+        go bound (go bound acc a) b
+    | Slice (e, a, b) -> opt bound (opt bound (go bound acc e) go a) go b
+    | List_lit es | Fn (_, es) -> List.fold_left (go bound) acc es
+    | Map_lit kvs -> List.fold_left (fun acc (_, e) -> go bound acc e) acc kvs
+    | Agg (_, _, eo) -> opt bound acc go eo
+    | Case { case_operand; case_whens; case_default } ->
+        let acc = opt bound acc go case_operand in
+        let acc =
+          List.fold_left
+            (fun acc (a, b) -> go bound (go bound acc a) b)
+            acc case_whens
+        in
+        opt bound acc go case_default
+    | List_comp { comp_var; comp_source; comp_where; comp_body } ->
+        let acc = go bound acc comp_source in
+        let bound = comp_var :: bound in
+        opt bound (opt bound acc go comp_where) go comp_body
+    | Quantifier { q_var; q_source; q_pred; _ } ->
+        go (q_var :: bound) (go bound acc q_source) q_pred
+    | Reduce { red_acc; red_init; red_var; red_source; red_body } ->
+        go
+          (red_acc :: red_var :: bound)
+          (go bound (go bound acc red_init) red_source)
+          red_body
+    | Pattern_pred ps -> List.fold_left (go_pattern bound) acc ps
+    | Pattern_comp { pc_pattern; pc_where; pc_body } ->
+        let acc = go_pattern bound acc pc_pattern in
+        opt bound (go bound acc pc_body) go pc_where
+    | Shortest_path { sp_pattern; _ } -> go_pattern bound acc sp_pattern
+  and go_pattern bound acc (p : pattern) =
+    (* variable names of the pattern count as free references; its
+       property expressions are walked recursively *)
+    let node_pat acc (np : node_pat) =
+      let acc = Option.fold ~none:acc ~some:(fun v -> v :: acc) np.np_var in
+      List.fold_left (fun acc (_, e) -> go bound acc e) acc np.np_props
+    in
+    let acc = node_pat acc p.pat_start in
+    List.fold_left
+      (fun acc ((rp : rel_pat), np) ->
+        let acc = Option.fold ~none:acc ~some:(fun v -> v :: acc) rp.rp_var in
+        let acc =
+          List.fold_left (fun acc (_, e) -> go bound acc e) acc rp.rp_props
+        in
+        node_pat acc np)
+      acc p.pat_steps
+  in
+  go [] [] e
+
 (** Variables bound by a pattern (path, node and relationship names). *)
 let pattern_vars (p : pattern) =
   let node_var np = Option.to_list np.np_var in

@@ -24,33 +24,42 @@ type order = Forward | Reverse | Seeded of int
     stay finite. *)
 type match_mode = Isomorphic | Homomorphic
 
+(** Cost-guided match planning (anchor selection, hop orientation —
+    see [Matcher.Plan]).  [Off] keeps the naive left-to-right
+    enumeration, whose row *order* the legacy order-sensitivity
+    experiments depend on; planning never changes the row *set*. *)
+type planner = On | Off
+
 type t = {
   mode : mode;
   order : order;
   match_mode : match_mode;
+  planner : planner;
   dialect : Cypher_ast.Validate.dialect;
   params : Value.t Smap.t;
 }
 
-(** Cypher 9 as shipped: legacy update semantics, Figure 2–5 grammar. *)
+(** Cypher 9 as shipped: legacy update semantics, Figure 2–5 grammar,
+    naive matching (its order-sensitive behaviours stay reproducible). *)
 let cypher9 =
-  { mode = Legacy; order = Forward; match_mode = Isomorphic;
+  { mode = Legacy; order = Forward; match_mode = Isomorphic; planner = Off;
     dialect = Cypher_ast.Validate.Cypher9; params = Smap.empty }
 
 (** The paper's revised language: atomic semantics, Figure 10 grammar. *)
 let revised =
-  { mode = Atomic; order = Forward; match_mode = Isomorphic;
+  { mode = Atomic; order = Forward; match_mode = Isomorphic; planner = On;
     dialect = Cypher_ast.Validate.Revised; params = Smap.empty }
 
 (** Everything the parser accepts, atomic semantics: used to experiment
     with the Section 6 proposal variants (MERGE GROUPING / WEAK /
     COLLAPSE). *)
 let permissive =
-  { mode = Atomic; order = Forward; match_mode = Isomorphic;
+  { mode = Atomic; order = Forward; match_mode = Isomorphic; planner = On;
     dialect = Cypher_ast.Validate.Permissive; params = Smap.empty }
 
 let with_order order t = { t with order }
 let with_match_mode match_mode t = { t with match_mode }
+let with_planner planner t = { t with planner }
 let with_params params t = { t with params }
 
 let with_param name v t = { t with params = Smap.add name v t.params }

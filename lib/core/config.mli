@@ -22,10 +22,17 @@ type order = Forward | Reverse | Seeded of int
     announces for later Cypher versions (Section 6, Example 7). *)
 type match_mode = Isomorphic | Homomorphic
 
+(** Cost-guided match planning (anchor selection, hop orientation —
+    see [Matcher.Plan]).  [Off] keeps the naive left-to-right
+    enumeration, whose row *order* the legacy order-sensitivity
+    experiments depend on; planning never changes the row *set*. *)
+type planner = On | Off
+
 type t = {
   mode : mode;
   order : order;
   match_mode : match_mode;
+  planner : planner;
   dialect : Cypher_ast.Validate.dialect;
   params : Value.t Smap.t;
 }
@@ -43,6 +50,7 @@ val permissive : t
 
 val with_order : order -> t -> t
 val with_match_mode : match_mode -> t -> t
+val with_planner : planner -> t -> t
 val with_params : Value.t Smap.t -> t -> t
 val with_param : string -> Value.t -> t -> t
 

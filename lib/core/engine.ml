@@ -23,7 +23,7 @@ let exec_match config (g, t) ~optional ~patterns ~where =
   let vars = List.concat_map pattern_vars patterns in
   let columns = Table.columns t @ vars in
   let expand row =
-    let matches = Matcher.match_patterns ~mode:(Runtime.match_mode_of config) (ctx_of config g row) patterns in
+    let matches = Matcher.match_patterns ~mode:(Runtime.match_mode_of config) ~planner:(Runtime.planner_on config) (ctx_of config g row) patterns in
     let matches =
       match where with
       | None -> matches

@@ -20,11 +20,14 @@
     - Strong Collapse (= MERGE SAME): quotient with cross-position node
       and relationship collapsing (Definitions 1 and 2 verbatim).
 
-    Weak Collapse is implemented as ALL + position-sensitive quotient
-    rather than Grouping + collapse: records with equal pattern
-    expressions create entity-wise identical instances, which the
-    position-sensitive quotient merges completely, so the two
-    formulations agree. *)
+    The collapsing proposals are implemented as *grouped* instantiation
+    followed by their quotient: records with equal pattern expressions
+    would create entity-wise identical instances, which every
+    position-sensitive or -insensitive quotient merges completely, so
+    instantiating once per group and quotienting the group instances
+    yields the same graph — and the same remapped bindings — as one
+    instance per record, without materialising entities that are
+    immediately collapsed away. *)
 
 open Cypher_graph
 open Cypher_table
@@ -50,7 +53,7 @@ let run_legacy config (g, t) ~patterns ~on_create ~on_match =
   let g, out_rows_rev =
     List.fold_left
       (fun (g, acc) row ->
-        let matches = Matcher.match_patterns ~mode:(Runtime.match_mode_of config) (ctx_of config g row) patterns in
+        let matches = Matcher.match_patterns ~mode:(Runtime.match_mode_of config) ~planner:(Runtime.planner_on config) (ctx_of config g row) patterns in
         if matches <> [] then
           let g = apply_set_legacy config g matches on_match in
           (g, List.rev_append matches acc)
@@ -170,23 +173,34 @@ let instantiate config g0 g row (patterns : pattern list) =
     expression appearing in the pattern tuple, plus the values of every
     variable of the pattern that the record already binds (Section 6:
     "grouping records in the driving table by the expressions appearing
-    in the pattern"). *)
-let grouping_key config g0 (patterns : pattern list) row : Value.t list =
+    in the pattern").  The key mirrors the pattern's structure (one
+    sublist per element) so values from different elements can never
+    shift into alignment, and is compared under the total order — the
+    same equality the collapsibility quotient uses for property values. *)
+let grouping_key config g0 (patterns : pattern list) row : Value.t =
   let ctx = ctx_of config g0 row in
-  let of_props kvs = List.map (fun (_, e) -> Eval.eval ctx e) kvs in
-  let of_var = function
-    | Some v -> ( match Record.find_opt row v with Some x -> [ x ] | None -> [])
-    | None -> []
+  let of_props kvs =
+    Value.List (List.map (fun (_, e) -> Eval.eval ctx e) kvs)
   in
-  List.concat_map
-    (fun (p : pattern) ->
-      of_var p.pat_start.np_var
-      @ of_props p.pat_start.np_props
-      @ List.concat_map
-          (fun ((rp : rel_pat), (np : node_pat)) ->
-            of_props rp.rp_props @ of_var np.np_var @ of_props np.np_props)
-          p.pat_steps)
-    patterns
+  let of_var = function
+    | Some v -> (
+        match Record.find_opt row v with
+        | Some x -> Value.List [ x ]
+        | None -> Value.List [])
+    | None -> Value.List []
+  in
+  Value.List
+    (List.map
+       (fun (p : pattern) ->
+         Value.List
+           (of_var p.pat_start.np_var
+           :: of_props p.pat_start.np_props
+           :: List.concat_map
+                (fun ((rp : rel_pat), (np : node_pat)) ->
+                  [ of_props rp.rp_props; of_var np.np_var;
+                    of_props np.np_props ])
+                p.pat_steps))
+       patterns)
 
 (* ------------------------------------------------------------------ *)
 (* Revised MERGE                                                      *)
@@ -208,14 +222,61 @@ let run_revised config (g0, t) ~mode ~patterns ~on_create ~on_match =
   let outcomes =
     List.map
       (fun row ->
-        match Matcher.match_patterns ~mode:(Runtime.match_mode_of config) (ctx_of config g0 row) patterns with
+        match Matcher.match_patterns ~mode:(Runtime.match_mode_of config) ~planner:(Runtime.planner_on config) (ctx_of config g0 row) patterns with
         | [] -> `Fail row
         | matches -> `Match matches)
       (Table.rows t)
   in
   (* 2. instantiate for failing records *)
-  let grouped = mode = Merge_grouping in
-  let group_cache : (string, Record.t * created) Hashtbl.t = Hashtbl.create 16 in
+  (* The collapsing modes (Weak Collapse, Collapse, SAME) also
+     instantiate once per group: records with equal grouping keys create
+     entity-wise identical instances, which their quotients merge
+     completely, so grouped instantiation yields the same graph and the
+     same remapped bindings as one instance per record — while creating
+     (and immediately collapsing) far fewer entities.  MERGE ALL keeps
+     one instance per record by definition. *)
+  let grouped =
+    match mode with
+    | Merge_grouping | Merge_weak_collapse | Merge_collapse | Merge_same ->
+        true
+    | Merge_all | Merge_legacy -> false
+  in
+  (* group table bucketed by the key's hash; keys compared under the
+     total order only within a bucket *)
+  let group_cache :
+      (int, (Value.t * (Record.t * created)) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let find_group key =
+    match Hashtbl.find_opt group_cache (Value.hash_total key) with
+    | None -> None
+    | Some bucket ->
+        Option.map snd
+          (List.find_opt
+             (fun (k, _) -> Value.compare_total k key = 0)
+             !bucket)
+  in
+  let add_group key v =
+    let h = Value.hash_total key in
+    match Hashtbl.find_opt group_cache h with
+    | None -> Hashtbl.add group_cache h (ref [ (key, v) ])
+    | Some bucket -> bucket := (key, v) :: !bucket
+  in
+  (* instantiation-time validation must still fire for records that
+     reuse their group's instance instead of instantiating *)
+  let check_reused_row row =
+    List.iter
+      (fun (p : pattern) ->
+        List.iter
+          (fun ((rp : rel_pat), _) ->
+            match rp.rp_var with
+            | Some v when Record.mem row v ->
+                Errors.update_error
+                  "MERGE: relationship variable `%s` is already bound" v
+            | _ -> ())
+          p.pat_steps)
+      patterns
+  in
   let g, outcomes, all_created =
     List.fold_left
       (fun (g, acc, all_created) outcome ->
@@ -223,13 +284,10 @@ let run_revised config (g0, t) ~mode ~patterns ~on_create ~on_match =
         | `Match matches -> (g, Matched matches :: acc, all_created)
         | `Fail row ->
             if grouped then (
-              let key =
-                Fmt.str "%a"
-                  Fmt.(list ~sep:(any "\x00") Value.pp)
-                  (grouping_key config g0 patterns row)
-              in
-              match Hashtbl.find_opt group_cache key with
+              let key = grouping_key config g0 patterns row in
+              match find_group key with
               | Some (bindings, _) ->
+                  check_reused_row row;
                   (* reuse the group's instance: copy its new bindings *)
                   let row' =
                     List.fold_left
@@ -241,7 +299,7 @@ let run_revised config (g0, t) ~mode ~patterns ~on_create ~on_match =
                   (g, Created row' :: acc, all_created)
               | None ->
                   let g, row', created = instantiate config g0 g row patterns in
-                  Hashtbl.add group_cache key (row', created);
+                  add_group key (row', created);
                   ( g,
                     Created row' :: acc,
                     {
@@ -277,32 +335,44 @@ let run_revised config (g0, t) ~mode ~patterns ~on_create ~on_match =
           ~rel_pos_matters:false
   in
   let g = quotient.Quotient.graph in
-  let remap row =
-    Rewrite.record
-      ~node:(fun id -> Some (quotient.Quotient.node_map id))
-      ~rel:(fun id -> Some (quotient.Quotient.rel_map id))
-      row
+  (* remap every outcome row through the quotient exactly once; the
+     remapped rows feed both the ON MATCH / ON CREATE sub-tables and the
+     final result table.  The non-collapsing modes use the identity
+     quotient, where the rewrite would be a no-op traversal — skip it. *)
+  let outcomes =
+    match mode with
+    | Merge_all | Merge_grouping | Merge_legacy -> outcomes
+    | Merge_weak_collapse | Merge_collapse | Merge_same ->
+        let remap row =
+          Rewrite.record
+            ~node:(fun id -> Some (quotient.Quotient.node_map id))
+            ~rel:(fun id -> Some (quotient.Quotient.rel_map id))
+            row
+        in
+        List.map
+          (function
+            | Matched rows -> Matched (List.map remap rows)
+            | Created row -> Created (remap row))
+          outcomes
   in
   let matched_rows =
     List.concat_map
-      (function Matched rows -> List.map remap rows | Created _ -> [])
+      (function Matched rows -> rows | Created _ -> [])
       outcomes
   in
   let created_rows =
     List.filter_map
-      (function Created row -> Some (remap row) | Matched _ -> None)
+      (function Created row -> Some row | Matched _ -> None)
       outcomes
   in
   let columns = Table.columns t @ List.concat_map pattern_vars patterns in
   (* 4. ON MATCH / ON CREATE as atomic SETs over the two sub-tables *)
   let g = apply_set_atomic config g matched_rows columns on_match in
   let g = apply_set_atomic config g created_rows columns on_create in
-  (* 5. result table: Tmatch ⊎ Tcreate, in original record order *)
+  (* 5. result table: Tmatch â Tcreate, in original record order *)
   let rows =
     List.concat_map
-      (function
-        | Matched rows -> List.map remap rows
-        | Created row -> [ remap row ])
+      (function Matched rows -> rows | Created row -> [ row ])
       outcomes
   in
   (g, Table.make columns rows)

@@ -17,11 +17,15 @@ let match_mode_of config =
   | Config.Isomorphic -> Matcher.Iso
   | Config.Homomorphic -> Matcher.Homo
 
+let planner_on config =
+  match config.Config.planner with Config.On -> true | Config.Off -> false
+
 (** [ctx config graph row] is the evaluation context for one record,
     with parameters and the pattern oracle installed. *)
 let ctx (config : Config.t) (graph : Graph.t) (row : Record.t) : Ctx.t =
   let pattern_oracle c patterns =
-    Matcher.match_patterns ~mode:(match_mode_of config) c patterns
+    Matcher.match_patterns ~mode:(match_mode_of config)
+      ~planner:(planner_on config) c patterns
   in
   let shortest_oracle c ~all p = Matcher.shortest_paths c ~all p in
   Ctx.make ~params:config.Config.params ~pattern_oracle ~shortest_oracle graph

@@ -12,6 +12,9 @@ open Cypher_table
 (** The matcher-level regime selected by the configuration. *)
 val match_mode_of : Config.t -> Cypher_matcher.Matcher.mode
 
+(** Whether the configuration enables cost-guided match planning. *)
+val planner_on : Config.t -> bool
+
 (** [ctx config graph row] is the evaluation context for one record,
     with parameters and the oracles installed. *)
 val ctx : Config.t -> Graph.t -> Record.t -> Cypher_eval.Ctx.t

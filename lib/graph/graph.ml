@@ -35,12 +35,30 @@ type rel = {
 (** What kind of entity a tombstoned id used to be. *)
 type tomb = Tomb_node | Tomb_rel
 
+(** Maps keyed by property values, under the total value order — the
+    exact-value property indexes below are served from these. *)
+module Vmap = Map.Make (struct
+  type t = Value.t
+
+  let compare = Value.compare_total
+end)
+
 type t = {
   nodes : node Imap.t;
   rels : rel Imap.t;
   out_adj : Iset.t Imap.t; (* node id -> ids of rels leaving it *)
   in_adj : Iset.t Imap.t; (* node id -> ids of rels entering it *)
+  out_typed : Iset.t Smap.t Imap.t; (* node id -> type -> rels leaving it *)
+  in_typed : Iset.t Smap.t Imap.t; (* node id -> type -> rels entering it *)
   label_index : Iset.t Smap.t; (* label -> ids of nodes carrying it *)
+  type_index : Iset.t Smap.t; (* type -> ids of rels carrying it *)
+  prop_index : Iset.t Vmap.t Smap.t Smap.t;
+      (* label -> key -> value -> node ids; an entry for (label, key)
+         exists iff that index has been registered, even when empty *)
+  dangling : Iset.t;
+      (* rels with a missing endpoint — populated only by a legacy
+         force-delete; maintained so the per-statement well-formedness
+         check is O(1) instead of a full relationship sweep *)
   next_id : int;
   tombs : tomb Imap.t;
 }
@@ -51,7 +69,12 @@ let empty =
     rels = Imap.empty;
     out_adj = Imap.empty;
     in_adj = Imap.empty;
+    out_typed = Imap.empty;
+    in_typed = Imap.empty;
     label_index = Smap.empty;
+    type_index = Smap.empty;
+    prop_index = Smap.empty;
+    dangling = Iset.empty;
     next_id = 0;
     tombs = Imap.empty;
   }
@@ -90,6 +113,69 @@ let reindex ~old_labels ~new_labels id idx =
     (fun l idx -> index_add l id idx)
     (Sset.diff new_labels old_labels)
     idx
+
+(* --- typed adjacency maintenance ---------------------------------- *)
+
+let tmap_find id m = match Imap.find_opt id m with Some sm -> sm | None -> Smap.empty
+
+let tset_find ty sm =
+  match Smap.find_opt ty sm with Some s -> s | None -> Iset.empty
+
+let tadj_add id ty rid m =
+  (* single outer-map traversal: creates run hot in MERGE workloads *)
+  Imap.update id
+    (fun sm ->
+      let sm = match sm with Some sm -> sm | None -> Smap.empty in
+      Some (Smap.add ty (Iset.add rid (tset_find ty sm)) sm))
+    m
+
+let tadj_remove id ty rid m =
+  match Imap.find_opt id m with
+  | None -> m
+  | Some sm ->
+      let s = Iset.remove rid (tset_find ty sm) in
+      let sm = if Iset.is_empty s then Smap.remove ty sm else Smap.add ty s sm in
+      if Smap.is_empty sm then Imap.remove id m else Imap.add id sm m
+
+(* --- property index maintenance ------------------------------------ *)
+
+let vmap_add v id vmap =
+  Vmap.update v
+    (function None -> Some (Iset.singleton id) | Some s -> Some (Iset.add id s))
+    vmap
+
+let vmap_remove v id vmap =
+  Vmap.update v
+    (function
+      | None -> None
+      | Some s ->
+          let s = Iset.remove id s in
+          if Iset.is_empty s then None else Some s)
+    vmap
+
+(** Folds [f] over the registered (key, value map) pairs of the labels a
+    node carries.  Null-valued (= absent) properties are never indexed:
+    a [{k: null}] pattern never matches, so there is nothing to serve. *)
+let pindex_fold_node f (n : node) pidx =
+  if Smap.is_empty pidx then pidx
+  else
+    Sset.fold
+      (fun l pidx ->
+        match Smap.find_opt l pidx with
+        | None -> pidx
+        | Some keys ->
+            Smap.add l
+              (Smap.mapi
+                 (fun key vmap ->
+                   match Props.get n.n_props key with
+                   | Value.Null -> vmap
+                   | v -> f v n.n_id vmap)
+                 keys)
+              pidx)
+      n.labels pidx
+
+let pindex_node_add n pidx = pindex_fold_node vmap_add n pidx
+let pindex_node_remove n pidx = pindex_fold_node vmap_remove n pidx
 
 (* ------------------------------------------------------------------ *)
 (* Lookup                                                             *)
@@ -142,16 +228,53 @@ let incident_rels g id =
 
 let degree g id = Iset.cardinal (Iset.union (adj_find id g.out_adj) (adj_find id g.in_adj))
 
-(** Relationships whose source or target node no longer exists — only
-    possible after a legacy force-delete; a well-formed graph has none. *)
-let dangling_rels g =
-  fold_rels
-    (fun r acc ->
-      if has_node g r.src && has_node g r.tgt then acc else r :: acc)
-    g []
-  |> List.rev
+(* --- typed adjacency views ----------------------------------------- *)
 
-let is_wellformed g = dangling_rels g = []
+let rels_of_set g s = Iset.fold (fun r acc -> rel_exn g r :: acc) s [] |> List.rev
+
+(* raw adjacency id-sets, for callers that fold without materialising
+   relationship lists (the matcher's hop enumeration) *)
+let out_rel_ids g id = adj_find id g.out_adj
+let in_rel_ids g id = adj_find id g.in_adj
+let out_rel_ids_typed g id ty = tset_find ty (tmap_find id g.out_typed)
+let in_rel_ids_typed g id ty = tset_find ty (tmap_find id g.in_typed)
+
+(** Relationships of type [ty] leaving node [id], in id order — served
+    from the typed adjacency map, so a hop with a type label never
+    enumerates differently-typed neighbours. *)
+let out_rels_typed g id ty = rels_of_set g (tset_find ty (tmap_find id g.out_typed))
+
+(** Relationships of type [ty] entering node [id], in id order. *)
+let in_rels_typed g id ty = rels_of_set g (tset_find ty (tmap_find id g.in_typed))
+
+(** Relationships of type [ty] incident to node [id] (self-loops once). *)
+let incident_rels_typed g id ty =
+  rels_of_set g
+    (Iset.union
+       (tset_find ty (tmap_find id g.out_typed))
+       (tset_find ty (tmap_find id g.in_typed)))
+
+let out_degree_typed g id ty = Iset.cardinal (tset_find ty (tmap_find id g.out_typed))
+let in_degree_typed g id ty = Iset.cardinal (tset_find ty (tmap_find id g.in_typed))
+
+(** All relationships carrying type [ty], in id order — from the type
+    index. *)
+let rels_with_type g ty = rels_of_set g (tset_find ty g.type_index)
+
+let type_count g ty = Iset.cardinal (tset_find ty g.type_index)
+
+let label_count g label =
+  match Smap.find_opt label g.label_index with
+  | None -> 0
+  | Some s -> Iset.cardinal s
+
+(** Relationships whose source or target node no longer exists — only
+    possible after a legacy force-delete; a well-formed graph has none.
+    Served from a maintained set: the statement-boundary validity check
+    runs on every query, so it must not sweep all relationships. *)
+let dangling_rels g = rels_of_set g g.dangling
+
+let is_wellformed g = Iset.is_empty g.dangling
 
 (* ------------------------------------------------------------------ *)
 (* Construction                                                       *)
@@ -165,6 +288,7 @@ let create_node ?(labels = []) ?(props = Props.empty) g =
       g with
       nodes = Imap.add id n g.nodes;
       label_index = index_node n g.label_index;
+      prop_index = pindex_node_add n g.prop_index;
       next_id = id + 1;
     } )
 
@@ -175,9 +299,25 @@ let create_rel ~src ~tgt ~r_type ?(props = Props.empty) g =
     invalid_arg (Printf.sprintf "Graph.create_rel: no target node %d" tgt);
   let id = g.next_id in
   let r = { r_id = id; src; tgt; r_type; r_props = props } in
-  let out_adj = Imap.add src (Iset.add id (adj_find src g.out_adj)) g.out_adj in
-  let in_adj = Imap.add tgt (Iset.add id (adj_find tgt g.in_adj)) g.in_adj in
-  (id, { g with rels = Imap.add id r g.rels; out_adj; in_adj; next_id = id + 1 })
+  let adj_insert n m =
+    Imap.update n
+      (function
+        | Some s -> Some (Iset.add id s) | None -> Some (Iset.singleton id))
+      m
+  in
+  let out_adj = adj_insert src g.out_adj in
+  let in_adj = adj_insert tgt g.in_adj in
+  ( id,
+    {
+      g with
+      rels = Imap.add id r g.rels;
+      out_adj;
+      in_adj;
+      out_typed = tadj_add src r_type id g.out_typed;
+      in_typed = tadj_add tgt r_type id g.in_typed;
+      type_index = index_add r_type id g.type_index;
+      next_id = id + 1;
+    } )
 
 (* ------------------------------------------------------------------ *)
 (* In-place modification (persistent: returns a new graph)            *)
@@ -193,12 +333,43 @@ let update_node g id f =
         nodes = Imap.add id n' g.nodes;
         label_index =
           reindex ~old_labels:n.labels ~new_labels:n'.labels id g.label_index;
+        prop_index =
+          (if Smap.is_empty g.prop_index then g.prop_index
+           else pindex_node_add n' (pindex_node_remove n g.prop_index));
       }
 
 let update_rel g id f =
   match rel g id with
   | None -> g
-  | Some r -> { g with rels = Imap.add id (f r) g.rels }
+  | Some r ->
+      let r' = f r in
+      let g = { g with rels = Imap.add id r' g.rels } in
+      if r'.r_type = r.r_type && r'.src = r.src && r'.tgt = r.tgt then g
+      else
+        (* re-key every structure derived from type or endpoints *)
+        let move old_n new_n adj =
+          if old_n = new_n then adj
+          else
+            Imap.add new_n
+              (Iset.add id (adj_find new_n adj))
+              (Imap.add old_n (Iset.remove id (adj_find old_n adj)) adj)
+        in
+        {
+          g with
+          out_adj = move r.src r'.src g.out_adj;
+          in_adj = move r.tgt r'.tgt g.in_adj;
+          out_typed =
+            tadj_add r'.src r'.r_type id (tadj_remove r.src r.r_type id g.out_typed);
+          in_typed =
+            tadj_add r'.tgt r'.r_type id (tadj_remove r.tgt r.r_type id g.in_typed);
+          type_index =
+            (if r'.r_type = r.r_type then g.type_index
+             else index_add r'.r_type id (index_remove r.r_type id g.type_index));
+          dangling =
+            (if has_node g r'.src && has_node g r'.tgt then
+               Iset.remove id g.dangling
+             else Iset.add id g.dangling);
+        }
 
 let set_node_prop g id k v =
   update_node g id (fun n -> { n with n_props = Props.set n.n_props k v })
@@ -252,6 +423,10 @@ let remove_rel g id =
         rels = Imap.remove id g.rels;
         out_adj;
         in_adj;
+        out_typed = tadj_remove r.src r.r_type id g.out_typed;
+        in_typed = tadj_remove r.tgt r.r_type id g.in_typed;
+        type_index = index_remove r.r_type id g.type_index;
+        dangling = Iset.remove id g.dangling;
         tombs = Imap.add id Tomb_rel g.tombs;
       }
 
@@ -269,7 +444,10 @@ let remove_node g id =
               nodes = Imap.remove id g.nodes;
               out_adj = Imap.remove id g.out_adj;
               in_adj = Imap.remove id g.in_adj;
+              out_typed = Imap.remove id g.out_typed;
+              in_typed = Imap.remove id g.in_typed;
               label_index = unindex_node n g.label_index;
+              prop_index = pindex_node_remove n g.prop_index;
               tombs = Imap.add id Tomb_node g.tombs;
             }
       | attached -> Error attached)
@@ -286,7 +464,15 @@ let remove_node_force g id =
         nodes = Imap.remove id g.nodes;
         out_adj = Imap.remove id g.out_adj;
         in_adj = Imap.remove id g.in_adj;
+        out_typed = Imap.remove id g.out_typed;
+        in_typed = Imap.remove id g.in_typed;
         label_index = unindex_node n g.label_index;
+        prop_index = pindex_node_remove n g.prop_index;
+        (* the still-attached relationships lose an endpoint *)
+        dangling =
+          Iset.union
+            (Iset.union (adj_find id g.out_adj) (adj_find id g.in_adj))
+            g.dangling;
         tombs = Imap.add id Tomb_node g.tombs;
       }
 
@@ -296,14 +482,99 @@ let remove_node_detach g id =
   match remove_node g id with Ok g -> g | Error _ -> assert false
 
 (* ------------------------------------------------------------------ *)
+(* Property indexes                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** [add_prop_index ~label ~key g] registers an exact-value index over
+    the [key] property of [label]-carrying nodes and builds it from the
+    current graph.  Once registered, the index is maintained by every
+    node construction, update and removal; idempotent. *)
+let add_prop_index ~label ~key g =
+  let registered =
+    match Smap.find_opt label g.prop_index with
+    | Some keys -> Smap.mem key keys
+    | None -> false
+  in
+  if registered then g
+  else
+    let vmap =
+      Iset.fold
+        (fun id vmap ->
+          match node g id with
+          | None -> vmap
+          | Some n -> (
+              match Props.get n.n_props key with
+              | Value.Null -> vmap
+              | v -> vmap_add v id vmap))
+        (match Smap.find_opt label g.label_index with
+        | Some s -> s
+        | None -> Iset.empty)
+        Vmap.empty
+    in
+    let keys =
+      match Smap.find_opt label g.prop_index with
+      | Some ks -> ks
+      | None -> Smap.empty
+    in
+    { g with prop_index = Smap.add label (Smap.add key vmap keys) g.prop_index }
+
+let has_prop_index g ~label ~key =
+  match Smap.find_opt label g.prop_index with
+  | Some keys -> Smap.mem key keys
+  | None -> false
+
+(** The registered (label, key) index pairs, alphabetically. *)
+let prop_index_keys g =
+  Smap.fold
+    (fun l keys acc -> Smap.fold (fun k _ acc -> (l, k) :: acc) keys acc)
+    g.prop_index []
+  |> List.rev
+
+(** [nodes_with_prop g ~label ~key v] is [Some ids] — the nodes carrying
+    [label] whose [key] property equals [v], in id order — when the
+    (label, key) index is registered, and [None] otherwise.  A [Null]
+    value yields [Some []]: null never matches. *)
+let nodes_with_prop g ~label ~key v =
+  match Smap.find_opt label g.prop_index with
+  | None -> None
+  | Some keys -> (
+      match Smap.find_opt key keys with
+      | None -> None
+      | Some vmap ->
+          if Value.is_null v then Some []
+          else
+            Some
+              (match Vmap.find_opt v vmap with
+              | Some s -> Iset.elements s
+              | None -> []))
+
+(** Cardinality of the index bucket for [v]; [None] when unindexed. *)
+let count_with_prop g ~label ~key v =
+  match Smap.find_opt label g.prop_index with
+  | None -> None
+  | Some keys -> (
+      match Smap.find_opt key keys with
+      | None -> None
+      | Some vmap ->
+          if Value.is_null v then Some 0
+          else
+            Some
+              (match Vmap.find_opt v vmap with
+              | Some s -> Iset.cardinal s
+              | None -> 0))
+
+(* ------------------------------------------------------------------ *)
 (* Wholesale reconstruction                                           *)
 (* ------------------------------------------------------------------ *)
 
 (** [rebuild ~next_id ~tombs nodes rels] constructs a graph from entity
-    lists, recomputing adjacency.  Every relationship endpoint must be
-    present in [nodes].  Used by the MERGE SAME quotient, which keeps
-    only class representatives and remaps endpoints (Section 8.2). *)
-let rebuild ~next_id ~tombs (node_list : node list) (rel_list : rel list) =
+    lists, recomputing adjacency and the type index.  Every relationship
+    endpoint must be present in [nodes].  Used by the MERGE SAME
+    quotient, which keeps only class representatives and remaps
+    endpoints (Section 8.2).  [prop_indexes] re-registers (and rebuilds)
+    the given property indexes on the result. *)
+let rebuild ?(prop_indexes = []) ~next_id ~tombs (node_list : node list)
+    (rel_list : rel list) =
   let g =
     List.fold_left
       (fun g (n : node) ->
@@ -315,18 +586,29 @@ let rebuild ~next_id ~tombs (node_list : node list) (rel_list : rel list) =
       { empty with next_id; tombs }
       node_list
   in
-  List.fold_left
-    (fun g (r : rel) ->
-      if not (has_node g r.src && has_node g r.tgt) then
-        invalid_arg "Graph.rebuild: relationship endpoint missing";
-      let out_adj =
-        Imap.add r.src (Iset.add r.r_id (adj_find r.src g.out_adj)) g.out_adj
-      in
-      let in_adj =
-        Imap.add r.tgt (Iset.add r.r_id (adj_find r.tgt g.in_adj)) g.in_adj
-      in
-      { g with rels = Imap.add r.r_id r g.rels; out_adj; in_adj })
-    g rel_list
+  let g =
+    List.fold_left
+      (fun g (r : rel) ->
+        if not (has_node g r.src && has_node g r.tgt) then
+          invalid_arg "Graph.rebuild: relationship endpoint missing";
+        let out_adj =
+          Imap.add r.src (Iset.add r.r_id (adj_find r.src g.out_adj)) g.out_adj
+        in
+        let in_adj =
+          Imap.add r.tgt (Iset.add r.r_id (adj_find r.tgt g.in_adj)) g.in_adj
+        in
+        {
+          g with
+          rels = Imap.add r.r_id r g.rels;
+          out_adj;
+          in_adj;
+          out_typed = tadj_add r.src r.r_type r.r_id g.out_typed;
+          in_typed = tadj_add r.tgt r.r_type r.r_id g.in_typed;
+          type_index = index_add r.r_type r.r_id g.type_index;
+        })
+      g rel_list
+  in
+  List.fold_left (fun g (label, key) -> add_prop_index ~label ~key g) g prop_indexes
 
 (* ------------------------------------------------------------------ *)
 (* Entity views for the evaluator                                     *)
@@ -359,17 +641,14 @@ let label_histogram g =
   Smap.fold (fun l s acc -> (l, Iset.cardinal s) :: acc) g.label_index []
   |> List.rev
 
-(** All relationship types in use with their counts, alphabetically. *)
+(** All relationship types in use with their counts, alphabetically —
+    served from the type index. *)
 let type_histogram g =
-  let tally =
-    fold_rels
-      (fun r m ->
-        Smap.update r.r_type
-          (function None -> Some 1 | Some n -> Some (n + 1))
-          m)
-      g Smap.empty
-  in
-  Smap.bindings tally
+  Smap.fold
+    (fun ty s acc ->
+      if Iset.is_empty s then acc else (ty, Iset.cardinal s) :: acc)
+    g.type_index []
+  |> List.rev
 
 (* ------------------------------------------------------------------ *)
 (* Printing                                                           *)

@@ -74,6 +74,43 @@ val incident_rels : t -> node_id -> rel list
 
 val degree : t -> node_id -> int
 
+(** {1 Typed adjacency}
+
+    Per-node adjacency bucketed by relationship type, maintained
+    alongside the plain adjacency sets.  A pattern hop carrying a type
+    label enumerates exactly the matching relationships instead of
+    filtering the full neighbour list post-hoc. *)
+
+(** Relationships of type [ty] leaving node [id], in id order. *)
+val out_rels_typed : t -> node_id -> string -> rel list
+
+(** Relationships of type [ty] entering node [id], in id order. *)
+val in_rels_typed : t -> node_id -> string -> rel list
+
+(** Relationships of type [ty] incident to node [id] (self-loops once). *)
+val incident_rels_typed : t -> node_id -> string -> rel list
+
+val out_degree_typed : t -> node_id -> string -> int
+val in_degree_typed : t -> node_id -> string -> int
+
+(** Raw adjacency id-sets, for callers that fold over neighbours without
+    materialising relationship lists (the matcher's hop enumeration). *)
+val out_rel_ids : t -> node_id -> Iset.t
+
+val in_rel_ids : t -> node_id -> Iset.t
+val out_rel_ids_typed : t -> node_id -> string -> Iset.t
+val in_rel_ids_typed : t -> node_id -> string -> Iset.t
+
+(** All relationships carrying type [ty], in id order — from a
+    maintained type index. *)
+val rels_with_type : t -> string -> rel list
+
+(** Cardinality of the type-index bucket for [ty]. *)
+val type_count : t -> string -> int
+
+(** Cardinality of the label-index bucket for [label]. *)
+val label_count : t -> string -> int
+
 (** Relationships whose source or target node no longer exists — only
     possible after a legacy force-delete; a well-formed graph has none. *)
 val dangling_rels : t -> rel list
@@ -120,13 +157,48 @@ val remove_node_force : t -> node_id -> t
 (** Detaching removal: deletes all incident relationships first. *)
 val remove_node_detach : t -> node_id -> t
 
+(** {1 Property indexes}
+
+    Optional exact-value secondary indexes over a (label, property key)
+    pair.  Registration is explicit; once registered, an index is
+    maintained through every node construction, update and removal, and
+    can be re-registered across {!rebuild}. *)
+
+(** [add_prop_index ~label ~key g] registers and builds the (label, key)
+    index; idempotent. *)
+val add_prop_index : label:string -> key:string -> t -> t
+
+val has_prop_index : t -> label:string -> key:string -> bool
+
+(** The registered (label, key) index pairs, alphabetically. *)
+val prop_index_keys : t -> (string * string) list
+
+(** [nodes_with_prop g ~label ~key v] is [Some ids] — the nodes carrying
+    [label] whose [key] property equals [v], in id order — when the
+    (label, key) index is registered, [None] otherwise.  A [Null] value
+    yields [Some []]: null never matches. *)
+val nodes_with_prop :
+  t -> label:string -> key:string -> Value.t -> node_id list option
+
+(** Cardinality of the index bucket for [v]; [None] when unindexed. *)
+val count_with_prop :
+  t -> label:string -> key:string -> Value.t -> int option
+
 (** {1 Wholesale reconstruction} *)
 
 (** [rebuild ~next_id ~tombs nodes rels] constructs a graph from entity
-    lists, recomputing adjacency.  Every relationship endpoint must be
-    present in [nodes].  Used by the MERGE SAME quotient (Section 8.2).
+    lists, recomputing adjacency and the type index.  Every relationship
+    endpoint must be present in [nodes].  Used by the MERGE SAME
+    quotient (Section 8.2).  [prop_indexes] re-registers (and rebuilds)
+    the given property indexes on the result.
     @raise Invalid_argument on a missing endpoint. *)
-val rebuild : next_id:int -> tombs:tomb Imap.t -> node list -> rel list -> t
+val rebuild :
+  ?prop_indexes:(string * string) list ->
+  next_id:int ->
+  tombs:tomb Imap.t ->
+  node list ->
+  rel list ->
+  t
 
 (** {1 Entity views for the evaluator} *)
 

@@ -43,6 +43,13 @@ let equal (p1 : t) (p2 : t) = smap_equal Value.equal_strict p1 p2
 let compare (p1 : t) (p2 : t) =
   Smap.compare Value.compare_total p1 p2
 
+(** Hash compatible with {!compare} (and hence with {!equal}): equal
+    property maps hash equally. *)
+let hash (p : t) =
+  Smap.fold
+    (fun k v acc -> ((acc * 31) + Hashtbl.hash k * 31) + Value.hash_total v)
+    p 0x9e3779b9
+
 let to_value (props : t) = Value.Map props
 
 let pp ppf (props : t) =

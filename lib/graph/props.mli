@@ -36,5 +36,10 @@ val merge_into : t -> t -> t
 val equal : t -> t -> bool
 
 val compare : t -> t -> int
+
+(** Hash compatible with {!compare} and {!equal}: equal property maps
+    hash equally. *)
+val hash : t -> int
+
 val to_value : t -> Value.t
 val pp : Format.formatter -> t -> unit

@@ -167,6 +167,36 @@ and compare_lists xs ys =
       let c = compare_total x y in
       if c <> 0 then c else compare_lists xs' ys'
 
+(* ------------------------------------------------------------------ *)
+(* Hashing compatible with the total order                            *)
+(* ------------------------------------------------------------------ *)
+
+(** [hash_total v] is compatible with {!compare_total}: equal values
+    hash equally.  Numbers are hashed through their float embedding
+    because the total order equates [Int n] with [Float f] when they are
+    numerically equal — and [Int n = Float f] forces [f] to represent
+    [n] exactly, so [float_of_int n] and [f] are the same float.
+    ([Hashtbl.hash] already folds [-0.] into [0.] and all nans
+    together, matching OCaml's float compare.)  Collisions across
+    families are harmless: hashes only pre-bucket candidates that a
+    full comparison then distinguishes. *)
+let rec hash_total v =
+  match v with
+  | Null -> 0x6e756c6c
+  | Bool b -> Hashtbl.hash b
+  | Int x -> Hashtbl.hash (float_of_int x)
+  | Float f -> Hashtbl.hash f
+  | String s -> Hashtbl.hash s
+  | Node id -> 0x517cc1b7 lxor Hashtbl.hash id
+  | Rel id -> 0x27220a95 lxor Hashtbl.hash id
+  | Path p -> Hashtbl.hash (p.path_nodes, p.path_rels)
+  | List xs ->
+      List.fold_left (fun acc x -> (acc * 31) + hash_total x) 0x11_57 xs
+  | Map m ->
+      Smap.fold
+        (fun k x acc -> ((acc * 31) + Hashtbl.hash k * 31) + hash_total x)
+        m 0x11_3a
+
 (** Ordering comparison for the [<, <=, >, >=] operators: [Unknown] when
     either side is null or the families are incomparable. *)
 let rec compare_tri a b : (int, unit) result =

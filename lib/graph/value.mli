@@ -62,6 +62,11 @@ val equal_strict : t -> t -> bool
     used by [ORDER BY], grouping and [DISTINCT]. *)
 val compare_total : t -> t -> int
 
+(** Hash compatible with {!compare_total}: values equal under the total
+    order hash equally (notably [Int n] and a numerically equal
+    [Float]). *)
+val hash_total : t -> int
+
 (** Ordering comparison for the [<], [<=], [>], [>=] operators:
     [Error ()] (i.e. unknown) when either side is null or the families
     are incomparable. *)

@@ -105,57 +105,88 @@ let match_node (ctx : Ctx.t) st (np : node_pat) : (state * Value.node_id) list =
       else None)
     candidates
 
-(** Relationships leaving [src_id] compatible with the direction of
-    [rp]; each is paired with the node at the far end. *)
-let adjacent (g : Graph.t) src_id (dir : direction) : (Graph.rel * Value.node_id) list
-    =
-  let outs () =
-    List.map (fun (r : Graph.rel) -> (r, r.Graph.tgt)) (Graph.out_rels g src_id)
-  in
-  let ins () =
-    List.map (fun (r : Graph.rel) -> (r, r.Graph.src)) (Graph.in_rels g src_id)
-  in
-  match dir with
-  | Out -> outs ()
-  | In -> ins ()
-  | Undirected ->
-      (* a self-loop appears in both adjacency sets; deduplicate *)
-      let both = outs () @ ins () in
-      List.sort_uniq
-        (fun ((r1 : Graph.rel), n1) (r2, n2) ->
-          compare (r1.Graph.r_id, n1) (r2.Graph.r_id, n2))
-        both
+let flip = function Out -> In | In -> Out | Undirected -> Undirected
 
-(** Matches a single (non-variable-length) relationship step from
-    [src_id], returning states extended with the relationship binding,
-    the far node id, and the traversed relationship. *)
-let match_single_rel (ctx : Ctx.t) st src_id (rp : rel_pat) :
-    (state * Value.node_id * Graph.rel) list =
-  let candidates = adjacent ctx.graph src_id rp.rp_dir in
-  List.filter_map
-    (fun ((r : Graph.rel), far) ->
-      if not (rel_available st r.Graph.r_id) then None
-      else if not (rel_satisfies ctx st.row rp r) then None
+(** [fold_adjacent g src_id rp ~reversed f acc] folds [f] over the
+    relationships at [src_id] compatible with the direction of [rp]
+    (flipped under [~reversed], for hops traversed right-to-left),
+    pairing each with the node at the far end, in relationship-id order.
+    A single-type pattern is served from the typed adjacency index —
+    same id order as filtering the full neighbour list, but without
+    touching non-matching types.  Folding (rather than materialising a
+    neighbour list) keeps the per-hop allocation at zero; hop
+    enumeration is the innermost loop of every MATCH and MERGE. *)
+let fold_adjacent (g : Graph.t) src_id (rp : rel_pat) ~reversed
+    (f : Graph.rel -> Value.node_id -> 'a -> 'a) (acc : 'a) : 'a =
+  let out_set, in_set =
+    match rp.rp_types with
+    | [ ty ] ->
+        ( Graph.out_rel_ids_typed g src_id ty,
+          Graph.in_rel_ids_typed g src_id ty )
+    | _ -> (Graph.out_rel_ids g src_id, Graph.in_rel_ids g src_id)
+  in
+  let dir = if reversed then flip rp.rp_dir else rp.rp_dir in
+  match dir with
+  | Out ->
+      Iset.fold
+        (fun rid acc ->
+          let r = Graph.rel_exn g rid in
+          f r r.Graph.tgt acc)
+        out_set acc
+  | In ->
+      Iset.fold
+        (fun rid acc ->
+          let r = Graph.rel_exn g rid in
+          f r r.Graph.src acc)
+        in_set acc
+  | Undirected ->
+      (* the incident set is a union of the two adjacency sets, so a
+         self-loop appears once without any post-hoc deduplication *)
+      Iset.fold
+        (fun rid acc ->
+          let r = Graph.rel_exn g rid in
+          let far =
+            if r.Graph.src = src_id then r.Graph.tgt else r.Graph.src
+          in
+          f r far acc)
+        (Iset.union out_set in_set)
+        acc
+
+(** Folds over the matches of a single (non-variable-length)
+    relationship step from [src_id]: states extended with the
+    relationship binding, the far node id, and the traversed
+    relationship, in relationship-id order. *)
+let fold_single_rel ?(reversed = false) (ctx : Ctx.t) st src_id (rp : rel_pat)
+    (f : state -> Value.node_id -> Graph.rel -> 'a -> 'a) (acc : 'a) : 'a =
+  fold_adjacent ctx.graph src_id rp ~reversed
+    (fun (r : Graph.rel) far acc ->
+      if not (rel_available st r.Graph.r_id) then acc
+      else if not (rel_satisfies ctx st.row rp r) then acc
       else
         let st = use_rel st r.Graph.r_id in
-        Option.map
-          (fun st -> (st, far, r))
-          (bind_var st rp.rp_var (Value.Rel r.Graph.r_id)))
-    candidates
+        match bind_var st rp.rp_var (Value.Rel r.Graph.r_id) with
+        | None -> acc
+        | Some st -> f st far r acc)
+    acc
 
 (** Matches a variable-length step: all edge-distinct walks from
     [src_id] whose length lies within the range.  The relationship
-    variable (if any) binds to the list of traversed relationships. *)
-let match_varlength (ctx : Ctx.t) st src_id (rp : rel_pat) lo hi :
-    (state * Value.node_id * Graph.rel list) list =
+    variable (if any) binds to the list of traversed relationships.
+    Under [~reversed] the walk is explored from the step's right
+    endpoint but reported in the pattern's left-to-right order. *)
+let match_varlength ?(reversed = false) (ctx : Ctx.t) st src_id (rp : rel_pat)
+    lo hi : (state * Value.node_id * Graph.rel list) list =
   let results = ref [] in
   (* [walk] keeps the walk's own edges distinct — under both matching
      regimes, so that unbounded ranges stay finite *)
   let rec explore st walk node rels_rev len =
-    if len >= lo then results := (st, node, List.rev rels_rev) :: !results;
+    if len >= lo then begin
+      let rels = if reversed then rels_rev else List.rev rels_rev in
+      results := (st, node, rels) :: !results
+    end;
     if match hi with Some h -> len < h | None -> true then
-      List.iter
-        (fun ((r : Graph.rel), far) ->
+      fold_adjacent ctx.graph node rp ~reversed
+        (fun (r : Graph.rel) far () ->
           if
             (not (Iset.mem r.Graph.r_id walk))
             && rel_available st r.Graph.r_id
@@ -165,7 +196,7 @@ let match_varlength (ctx : Ctx.t) st src_id (rp : rel_pat) lo hi :
               (use_rel st r.Graph.r_id)
               (Iset.add r.Graph.r_id walk)
               far (r :: rels_rev) (len + 1))
-        (adjacent ctx.graph node rp.rp_dir)
+        ()
   in
   explore st Iset.empty src_id [] 0;
   List.filter_map
@@ -176,71 +207,194 @@ let match_varlength (ctx : Ctx.t) st src_id (rp : rel_pat) lo hi :
       Option.map (fun st -> (st, far, rels)) (bind_var st rp.rp_var rel_list))
     (List.rev !results)
 
-(** Matches one whole path pattern starting from state [st]. *)
-let match_pattern (ctx : Ctx.t) st (p : pattern) : state list =
+(** Matches one whole path pattern left-to-right from state [st] — the
+    naive enumeration: anchor on [pat_start], walk the steps in
+    syntactic order. *)
+let match_pattern_naive (ctx : Ctx.t) st (p : pattern) : state list =
   let starts = match_node ctx st p.pat_start in
-  let rec steps (st, node_id, nodes_rev, rels_rev) = function
+  (* the path value is only assembled when the pattern is named; an
+     anonymous pattern skips the per-embedding list building entirely.
+     Matching states are threaded through an accumulator (prepended in
+     traversal order, reversed once at the end) so the hot single-hop
+     path allocates nothing beyond the states themselves. *)
+  let named = p.pat_var <> None in
+  let rec steps st node_id nodes_rev rels_rev rest acc =
+    match rest with
     | [] ->
-        (* bind the path variable when named *)
-        let path =
-          Value.Path
-            {
-              Value.path_nodes = List.rev nodes_rev;
-              path_rels = List.rev rels_rev;
-            }
-        in
-        Option.to_list (bind_var st p.pat_var path)
+        if not named then st :: acc
+        else
+          let path =
+            Value.Path
+              {
+                Value.path_nodes = List.rev nodes_rev;
+                path_rels = List.rev rels_rev;
+              }
+          in
+          (match bind_var st p.pat_var path with
+          | None -> acc
+          | Some st -> st :: acc)
     | (rp, np) :: rest ->
-        let hops =
-          match rp.rp_range with
-          | None ->
-              List.map
-                (fun (st, far, r) -> (st, far, [ r ]))
-                (match_single_rel ctx st node_id rp)
-          | Some (lo, hi) ->
-              let lo = Option.value ~default:1 lo in
-              match_varlength ctx st node_id rp lo hi
+        let far_step st far rels acc =
+          match
+            if node_satisfies ctx st.row np far then
+              bind_var st np.np_var (Value.Node far)
+            else None
+          with
+          | None -> acc
+          | Some st ->
+              if not named then steps st far nodes_rev rels_rev rest acc
+              else
+                steps st far (far :: nodes_rev)
+                  (List.rev_append
+                     (List.map (fun (r : Graph.rel) -> r.Graph.r_id) rels)
+                     rels_rev)
+                  rest acc
         in
-        List.concat_map
-          (fun (st, far, rels) ->
-            match
-              if node_satisfies ctx st.row np far then
-                bind_var st np.np_var (Value.Node far)
-              else None
-            with
-            | None -> []
-            | Some st ->
-                steps
-                  ( st,
-                    far,
-                    far :: nodes_rev,
-                    List.rev_append
-                      (List.map (fun (r : Graph.rel) -> r.Graph.r_id) rels)
-                      rels_rev )
-                  rest)
-          hops
+        (match rp.rp_range with
+        | None ->
+            fold_single_rel ctx st node_id rp
+              (fun st far r acc -> far_step st far [ r ] acc)
+              acc
+        | Some (lo, hi) ->
+            let lo = Option.value ~default:1 lo in
+            List.fold_left
+              (fun acc (st, far, rels) -> far_step st far rels acc)
+              acc
+              (match_varlength ctx st node_id rp lo hi))
   in
-  List.concat_map
-    (fun (st, start_id) -> steps (st, start_id, [ start_id ], []) p.pat_steps)
-    starts
+  List.rev
+    (List.fold_left
+       (fun acc (st, start_id) ->
+         steps st start_id (if named then [ start_id ] else []) [] p.pat_steps
+           acc)
+       [] starts)
 
-(** [match_patterns ?mode ctx patterns] computes all extensions of the
-    context row that embed every pattern; under the default [Iso] mode
-    relationship isomorphism is enforced across the whole pattern
-    tuple. *)
-let match_patterns ?(mode = Iso) (ctx : Ctx.t) (patterns : pattern list) :
-    Record.t list =
+(* ------------------------------------------------------------------ *)
+(* Planned execution                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Candidate nodes for a planned anchor.  Bound variables and index
+    lookups still pass through {!node_satisfies}, so an index bucket may
+    safely over-approximate (it is re-filtered). *)
+let anchor_candidates (ctx : Ctx.t) st (plan : Plan.t) : Value.node_id list =
+  let np = plan.Plan.p_anchor in
+  match plan.Plan.p_anchor_kind with
+  | Plan.Anchor_bound -> (
+      match node_candidates st np with Some ids -> ids | None -> [])
+  | Plan.Anchor_prop_index { pi_label; pi_key; pi_value } -> (
+      let v = eval_in ctx st.row pi_value in
+      match Graph.nodes_with_prop ctx.graph ~label:pi_label ~key:pi_key v with
+      | Some ids -> ids
+      | None -> Graph.nodes_with_label ctx.graph pi_label)
+  | Plan.Anchor_label label -> Graph.nodes_with_label ctx.graph label
+  | Plan.Anchor_scan -> Graph.node_ids ctx.graph
+
+(** Matches one whole path pattern following a {!Plan.t}: enumerate the
+    anchor position first, then each hop from its already-bound side.
+    Nodes and traversed relationships are collected by *position* and
+    *step index* so the final path value is assembled left-to-right
+    regardless of traversal order. *)
+let match_pattern_planned (ctx : Ctx.t) st (p : pattern) (plan : Plan.t) :
+    state list =
+  let starts =
+    List.filter_map
+      (fun id ->
+        if node_satisfies ctx st.row plan.Plan.p_anchor id then
+          Option.map
+            (fun st -> (st, Imap.singleton plan.Plan.p_anchor_pos id))
+            (bind_var st plan.Plan.p_anchor.np_var (Value.Node id))
+        else None)
+      (anchor_candidates ctx st plan)
+  in
+  (* the path value is only assembled when the pattern is named; an
+     anonymous pattern skips the per-step relationship bookkeeping *)
+  let named = p.pat_var <> None in
+  let rec hops st nodes_at rels_at rest acc =
+    match rest with
+    | [] ->
+        if not named then st :: acc
+        else
+          let path =
+            Value.Path
+              {
+                Value.path_nodes =
+                  List.init plan.Plan.p_positions (fun i ->
+                      Imap.find i nodes_at);
+                path_rels =
+                  List.concat_map
+                    (fun (_, rels) ->
+                      List.map (fun (r : Graph.rel) -> r.Graph.r_id) rels)
+                    (Imap.bindings rels_at);
+              }
+          in
+          (match bind_var st p.pat_var path with
+          | None -> acc
+          | Some st -> st :: acc)
+    | (h : Plan.hop) :: rest ->
+        let src_id = Imap.find h.Plan.h_src_pos nodes_at in
+        let reversed = h.Plan.h_reversed in
+        let far_step st far rels acc =
+          match
+            if node_satisfies ctx st.row h.Plan.h_far far then
+              bind_var st h.Plan.h_far.np_var (Value.Node far)
+            else None
+          with
+          | None -> acc
+          | Some st ->
+              hops st
+                (Imap.add h.Plan.h_far_pos far nodes_at)
+                (if named then Imap.add h.Plan.h_step rels rels_at
+                 else rels_at)
+                rest acc
+        in
+        (match h.Plan.h_rp.rp_range with
+        | None ->
+            fold_single_rel ~reversed ctx st src_id h.Plan.h_rp
+              (fun st far r acc -> far_step st far [ r ] acc)
+              acc
+        | Some (lo, hi) ->
+            let lo = Option.value ~default:1 lo in
+            List.fold_left
+              (fun acc (st, far, rels) -> far_step st far rels acc)
+              acc
+              (match_varlength ~reversed ctx st src_id h.Plan.h_rp lo hi))
+  in
+  List.rev
+    (List.fold_left
+       (fun acc (st, nodes_at) ->
+         hops st nodes_at Imap.empty plan.Plan.p_hops acc)
+       [] starts)
+
+(** Matches one whole path pattern, planning the traversal order when
+    [planner] is set and the pattern is safely reorderable. *)
+let match_pattern ?(planner = false) (ctx : Ctx.t) st (p : pattern) :
+    state list =
+  match if planner then Plan.make ctx st.row p else None with
+  | Some plan -> match_pattern_planned ctx st p plan
+  | None -> match_pattern_naive ctx st p
+
+(** [match_patterns ?mode ?planner ctx patterns] computes all extensions
+    of the context row that embed every pattern; under the default [Iso]
+    mode relationship isomorphism is enforced across the whole pattern
+    tuple.  [planner] enables cost-guided anchor selection and hop
+    orientation (see {!Plan}); the result rows are the same either way,
+    possibly in a different order. *)
+let match_patterns ?(mode = Iso) ?(planner = false) (ctx : Ctx.t)
+    (patterns : pattern list) : Record.t list =
   let init = { row = ctx.row; used = Iset.empty; mode } in
   let states =
     List.fold_left
-      (fun states p -> List.concat_map (fun st -> match_pattern ctx st p) states)
+      (fun states p ->
+        List.concat_map (fun st -> match_pattern ~planner ctx st p) states)
       [ init ] patterns
   in
   List.map (fun st -> st.row) states
 
-(** [matches ?mode ctx patterns] decides (p, G, u) ⊨ π: is there at
-    least one embedding?  Used by MERGE to split the driving table. *)
-let matches ?mode ctx patterns = match_patterns ?mode ctx patterns <> []
+(** [matches ?mode ?planner ctx patterns] decides (p, G, u) ⊨ π: is
+    there at least one embedding?  Used by MERGE to split the driving
+    table. *)
+let matches ?mode ?planner ctx patterns =
+  match_patterns ?mode ?planner ctx patterns <> []
 
 (* ------------------------------------------------------------------ *)
 (* Shortest paths                                                     *)
@@ -300,8 +454,8 @@ let shortest_paths (ctx : Ctx.t) ~all (p : pattern) : Value.t =
         let node = Queue.pop queue in
         let depth = Hashtbl.find level node in
         if expand_from depth then
-          List.iter
-            (fun ((r : Graph.rel), far) ->
+          fold_adjacent ctx.graph node rp ~reversed:false
+            (fun (r : Graph.rel) far () ->
               if rel_satisfies ctx ctx.row rp r then begin
                 (match Hashtbl.find_opt level far with
                 | None ->
@@ -315,7 +469,7 @@ let shortest_paths (ctx : Ctx.t) ~all (p : pattern) : Value.t =
                 if far = tgt && depth + 1 >= lo && !found_depth = None then
                   found_depth := Some (depth + 1)
               end)
-            (adjacent ctx.graph node rp.rp_dir)
+            ()
       done;
       (* all shortest walks as forward relationship-id lists *)
       let rec walks_to node depth : Value.rel_id list list =

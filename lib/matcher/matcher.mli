@@ -19,16 +19,24 @@ open Cypher_ast.Ast
     regimes ("suitable restrictions to guarantee finite outputs"). *)
 type mode = Iso | Homo
 
-(** [match_patterns ?mode ctx patterns] computes all extensions of the
-    context row that embed every pattern; under the default [Iso] mode
-    relationship isomorphism is enforced across the whole pattern
-    tuple. *)
+(** [match_patterns ?mode ?planner ctx patterns] computes all extensions
+    of the context row that embed every pattern; under the default [Iso]
+    mode relationship isomorphism is enforced across the whole pattern
+    tuple.  [planner] (default off) enables cost-guided anchor selection
+    and hop orientation (see {!Plan}); the result rows are the same
+    either way, possibly in a different order. *)
 val match_patterns :
-  ?mode:mode -> Cypher_eval.Ctx.t -> pattern list -> Record.t list
+  ?mode:mode ->
+  ?planner:bool ->
+  Cypher_eval.Ctx.t ->
+  pattern list ->
+  Record.t list
 
-(** [matches ?mode ctx patterns] decides (p, G, u) ⊨ π: is there at
-    least one embedding?  Used by MERGE to split the driving table. *)
-val matches : ?mode:mode -> Cypher_eval.Ctx.t -> pattern list -> bool
+(** [matches ?mode ?planner ctx patterns] decides (p, G, u) ⊨ π: is
+    there at least one embedding?  Used by MERGE to split the driving
+    table. *)
+val matches :
+  ?mode:mode -> ?planner:bool -> Cypher_eval.Ctx.t -> pattern list -> bool
 
 (** [shortest_paths ctx ~all pattern] evaluates
     [shortestPath((a)-[:T*]->(b))] (and [allShortestPaths]): a BFS over

@@ -6,6 +6,7 @@
     it — so this module also provides explicit reorderings used to
     exhibit that leakage. *)
 
+open Cypher_util.Maps
 open Cypher_graph
 
 type t = { columns : string list; rows : Record.t list }
@@ -23,12 +24,15 @@ let row_count t = List.length t.rows
 let is_empty t = t.rows = []
 
 let dedup_columns columns =
-  let rec loop acc = function
+  (* set-based membership: [of_rows] feeds this the concatenated key
+     lists of every record, so the accumulator can get wide *)
+  let rec loop seen acc = function
     | [] -> List.rev acc
     | c :: rest ->
-        if List.mem c acc then loop acc rest else loop (c :: acc) rest
+        if Sset.mem c seen then loop seen acc rest
+        else loop (Sset.add c seen) (c :: acc) rest
   in
-  loop [] columns
+  loop Sset.empty [] columns
 
 (** [make columns rows] builds a table, padding every record to exactly
     [columns] (missing bindings become null, extra bindings are dropped)

@@ -122,4 +122,122 @@ let figure_checks =
         Alcotest.check Test_util.graph_iso_testable "9b" Fixtures.figure9b g_same);
   ]
 
-let suite = List.map QCheck_alcotest.to_alcotest tests @ figure_checks
+(* ------------------------------------------------------------------ *)
+(* Planner on/off differential sweep                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Cost-guided planning must only reorder the enumeration of candidate
+   bindings: with the planner on and off, a read query returns the same
+   bag of rows and an update query produces the same graph (up to the
+   ids assigned along the changed enumeration order). *)
+module Api = Cypher_core.Api
+
+let planner_on = Config.revised
+let planner_off = Config.with_planner Config.Off Config.revised
+
+(* a graph with skewed statistics (few vendors, many users), a label-less
+   fringe, and a registered property index, so every anchor kind — bound,
+   prop-index, label and scan — is exercised *)
+let sweep_graph =
+  let g =
+    Fixtures.marketplace_graph ~vendors:3 ~products:11 ~users:40
+      ~orders_per_user:2
+  in
+  let _, g = Graph.create_node ~props:(Props.of_list [ ("loose", Value.Int 1) ]) g in
+  Graph.add_prop_index ~label:"User" ~key:"id" g
+
+let read_queries =
+  [
+    "MATCH (u:User) RETURN count(*) AS n";
+    "MATCH (u:User)-[:ORDERED]->(p:Product) RETURN u.id AS uid, p.id AS pid";
+    "MATCH (u:User)-[o:ORDERED]->(p:Product)<-[f:OFFERS]-(v:Vendor) RETURN \
+     u.id AS uid, v.id AS vid";
+    "MATCH (v:Vendor)-[:OFFERS]->(p:Product)<-[:ORDERED]-(u:User {id: \
+     100003}) RETURN v.name AS vn, p.name AS pn";
+    "MATCH (a)-[r]->(b) WHERE a.id = 0 RETURN b.id AS bid";
+    "MATCH (a)-[:OFFERS|ORDERED]-(b:Product) RETURN count(*) AS n";
+    "MATCH (v:Vendor)-[:OFFERS*1..2]->(x) RETURN v.id AS vid, x.id AS xid";
+    "MATCH p = (u:User {id: 100007})-[:ORDERED]->(x) RETURN length(p) AS l, \
+     x.id AS xid";
+    "MATCH (u:User), (v:Vendor) WHERE u.id % 10 = v.id RETURN u.id AS uid, \
+     v.id AS vid";
+    "MATCH (u:User {id: 100011}) OPTIONAL MATCH (u)-[:ORDERED]->(p) RETURN \
+     p.id AS pid";
+  ]
+
+let update_queries =
+  [
+    "MATCH (u:User)-[:ORDERED]->(p:Product) SET p.sold = true RETURN \
+     count(*) AS n";
+    "MATCH (v:Vendor)-[:OFFERS]->(p:Product)<-[:ORDERED]-(u:User) CREATE \
+     (u)-[:KNOWS]->(v) RETURN count(*) AS n";
+    "MATCH (u:User) WHERE u.id % 7 = 0 SET u:Flagged REMOVE u.name RETURN \
+     count(*) AS n";
+    "MERGE SAME (:User {id: 100001})-[:ORDERED]->(:Product {id: 1004})";
+    "MATCH (u:User)-[:ORDERED]->(p:Product) WHERE u.id % 7 = 0 SET p.hot = \
+     true WITH u, count(*) AS n MERGE ALL (u)-[:SCORED]->(:Score {v: n}) \
+     RETURN count(*) AS total";
+  ]
+
+let run_with config src =
+  match Api.run_string ~config sweep_graph src with
+  | Ok { Api.graph; table } -> (graph, table)
+  | Error e -> Alcotest.failf "query failed: %s" (Cypher_core.Errors.to_string e)
+
+(* bag equality of tables: rows as sorted binding lists *)
+let sorted_rows t =
+  List.sort compare (List.map Record.bindings (Table.rows t))
+
+let planner_checks =
+  List.map
+    (fun src ->
+      Test_util.case ("planner on/off agree (read): " ^ src) (fun () ->
+          let g_on, t_on = run_with planner_on src in
+          let g_off, t_off = run_with planner_off src in
+          Alcotest.(check bool) "graph untouched (on)" true (g_on == sweep_graph || Iso.isomorphic g_on sweep_graph);
+          Alcotest.(check bool) "graph untouched (off)" true (g_off == sweep_graph || Iso.isomorphic g_off sweep_graph);
+          Alcotest.(check (list string)) "columns" (Table.columns t_off) (Table.columns t_on);
+          Alcotest.(check bool) "same row bag" true
+            (sorted_rows t_on = sorted_rows t_off)))
+    read_queries
+  @ List.map
+      (fun src ->
+        Test_util.case ("planner on/off agree (update): " ^ src) (fun () ->
+            let g_on, t_on = run_with planner_on src in
+            let g_off, t_off = run_with planner_off src in
+            Alcotest.check Test_util.graph_iso_testable "graphs" g_off g_on;
+            Alcotest.(check (list string)) "columns" (Table.columns t_off) (Table.columns t_on);
+            Alcotest.(check int) "row count" (Table.row_count t_off) (Table.row_count t_on)))
+      update_queries
+
+(* MERGE under every revised mode with the planner on and off: the split
+   into Tmatch/Tfail must not depend on the enumeration order *)
+let planner_merge_checks =
+  [
+    QCheck.Test.make
+      ~name:"planner on/off agree across MERGE modes (random tables)"
+      ~count:60 arb_table
+      (fun table ->
+        List.for_all
+          (fun mode ->
+            let g_on, t_on =
+              Runner.run_merge_mode
+                (Config.with_planner Config.On Config.permissive)
+                ~mode merge_src (base_graph, table)
+            in
+            let g_off, t_off =
+              Runner.run_merge_mode
+                (Config.with_planner Config.Off Config.permissive)
+                ~mode merge_src (base_graph, table)
+            in
+            Iso.isomorphic g_on g_off
+            && Table.row_count t_on = Table.row_count t_off
+            && Table.columns t_on = Table.columns t_off)
+          [ Merge_all; Merge_grouping; Merge_weak_collapse; Merge_collapse;
+            Merge_same ]);
+  ]
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest tests
+  @ figure_checks @ planner_checks
+  @ List.map QCheck_alcotest.to_alcotest planner_merge_checks

@@ -155,4 +155,160 @@ let histogram_tests =
           (Graph.type_histogram Graph.empty));
   ]
 
-let suite = suite @ histogram_tests
+let rel_ids rels = List.map (fun (r : Graph.rel) -> r.Graph.r_id) rels
+
+let typed_adjacency_tests =
+  [
+    case "typed adjacency buckets by relationship type" (fun () ->
+        let a, g = Graph.create_node Graph.empty in
+        let b, g = Graph.create_node g in
+        let c, g = Graph.create_node g in
+        let t1, g = Graph.create_rel ~src:a ~tgt:b ~r_type:"T" g in
+        let _u, g = Graph.create_rel ~src:a ~tgt:b ~r_type:"U" g in
+        let t2, g = Graph.create_rel ~src:a ~tgt:c ~r_type:"T" g in
+        Alcotest.(check (list int))
+          "out T in id order" [ t1; t2 ]
+          (rel_ids (Graph.out_rels_typed g a "T"));
+        Alcotest.(check (list int))
+          "in T at b" [ t1 ]
+          (rel_ids (Graph.in_rels_typed g b "T"));
+        Alcotest.(check int) "out degree T" 2 (Graph.out_degree_typed g a "T");
+        Alcotest.(check int) "out degree U" 1 (Graph.out_degree_typed g a "U");
+        Alcotest.(check (list int))
+          "unknown type is empty" []
+          (rel_ids (Graph.out_rels_typed g a "Z")));
+    case "typed self-loop is incident once" (fun () ->
+        let a, g = Graph.create_node Graph.empty in
+        let r, g = Graph.create_rel ~src:a ~tgt:a ~r_type:"SELF" g in
+        Alcotest.(check (list int))
+          "incident" [ r ]
+          (rel_ids (Graph.incident_rels_typed g a "SELF")));
+    case "typed adjacency follows relationship removal" (fun () ->
+        let a, g = Graph.create_node Graph.empty in
+        let b, g = Graph.create_node g in
+        let t1, g = Graph.create_rel ~src:a ~tgt:b ~r_type:"T" g in
+        let t2, g = Graph.create_rel ~src:a ~tgt:b ~r_type:"T" g in
+        let g = Graph.remove_rel g t1 in
+        Alcotest.(check (list int))
+          "t1 gone" [ t2 ]
+          (rel_ids (Graph.out_rels_typed g a "T"));
+        Alcotest.(check int) "type index count" 1 (Graph.type_count g "T"));
+    case "typed adjacency follows detaching node removal" (fun () ->
+        let a, g = Graph.create_node Graph.empty in
+        let b, g = Graph.create_node g in
+        let c, g = Graph.create_node g in
+        let _, g = Graph.create_rel ~src:a ~tgt:b ~r_type:"T" g in
+        let t2, g = Graph.create_rel ~src:a ~tgt:c ~r_type:"T" g in
+        let g = Graph.remove_node_detach g b in
+        Alcotest.(check (list int))
+          "only the c edge" [ t2 ]
+          (rel_ids (Graph.out_rels_typed g a "T"));
+        Alcotest.(check (list int))
+          "b bucket empty" []
+          (rel_ids (Graph.in_rels_typed g b "T")));
+    case "rebuild reconstructs the typed adjacency" (fun () ->
+        let a, g = Graph.create_node Graph.empty in
+        let b, g = Graph.create_node g in
+        let t, g = Graph.create_rel ~src:a ~tgt:b ~r_type:"T" g in
+        let g' =
+          Graph.rebuild ~next_id:(Graph.next_id g)
+            ~tombs:(Graph.tombstones g) (Graph.nodes g) (Graph.rels g)
+        in
+        Alcotest.(check (list int))
+          "same bucket" [ t ]
+          (rel_ids (Graph.out_rels_typed g' a "T"));
+        Alcotest.(check int) "type count" 1 (Graph.type_count g' "T"));
+  ]
+
+let prop_index_tests =
+  let user k v g =
+    let id, g =
+      Graph.create_node ~labels:[ "User" ]
+        ~props:(Props.of_list [ (k, v) ])
+        g
+    in
+    (id, g)
+  in
+  [
+    case "add_prop_index covers pre-existing nodes" (fun () ->
+        let a, g = user "id" (vint 7) Graph.empty in
+        let b, g = user "id" (vint 7) g in
+        let _, g = user "id" (vint 8) g in
+        let g = Graph.add_prop_index ~label:"User" ~key:"id" g in
+        Alcotest.(check bool)
+          "registered" true
+          (Graph.has_prop_index g ~label:"User" ~key:"id");
+        Alcotest.(check (option (list int)))
+          "bucket 7" (Some [ a; b ])
+          (Graph.nodes_with_prop g ~label:"User" ~key:"id" (vint 7));
+        Alcotest.(check (option int))
+          "cardinality" (Some 2)
+          (Graph.count_with_prop g ~label:"User" ~key:"id" (vint 7)));
+    case "unregistered lookups answer None, null answers empty" (fun () ->
+        let _, g = user "id" (vint 7) Graph.empty in
+        Alcotest.(check (option (list int)))
+          "no index" None
+          (Graph.nodes_with_prop g ~label:"User" ~key:"id" (vint 7));
+        let g = Graph.add_prop_index ~label:"User" ~key:"id" g in
+        Alcotest.(check (option (list int)))
+          "null never matches" (Some [])
+          (Graph.nodes_with_prop g ~label:"User" ~key:"id" Value.Null));
+    case "index equates numerically equal Int and Float keys" (fun () ->
+        let a, g = user "id" (vint 7) Graph.empty in
+        let g = Graph.add_prop_index ~label:"User" ~key:"id" g in
+        Alcotest.(check (option (list int)))
+          "float probe" (Some [ a ])
+          (Graph.nodes_with_prop g ~label:"User" ~key:"id" (Value.Float 7.0)));
+    case "index follows SET and REMOVE of the property" (fun () ->
+        let a, g = user "id" (vint 7) Graph.empty in
+        let g = Graph.add_prop_index ~label:"User" ~key:"id" g in
+        let g = Graph.set_node_prop g a "id" (vint 9) in
+        Alcotest.(check (option (list int)))
+          "old bucket empty" (Some [])
+          (Graph.nodes_with_prop g ~label:"User" ~key:"id" (vint 7));
+        Alcotest.(check (option (list int)))
+          "new bucket" (Some [ a ])
+          (Graph.nodes_with_prop g ~label:"User" ~key:"id" (vint 9));
+        let g = Graph.remove_node_prop g a "id" in
+        Alcotest.(check (option (list int)))
+          "removed" (Some [])
+          (Graph.nodes_with_prop g ~label:"User" ~key:"id" (vint 9)));
+    case "index follows label addition and removal" (fun () ->
+        let a, g = Graph.create_node ~props:(Props.of_list [ ("id", vint 7) ]) Graph.empty in
+        let g = Graph.add_prop_index ~label:"User" ~key:"id" g in
+        Alcotest.(check (option (list int)))
+          "unlabelled node absent" (Some [])
+          (Graph.nodes_with_prop g ~label:"User" ~key:"id" (vint 7));
+        let g = Graph.add_label g a "User" in
+        Alcotest.(check (option (list int)))
+          "joins on add_label" (Some [ a ])
+          (Graph.nodes_with_prop g ~label:"User" ~key:"id" (vint 7));
+        let g = Graph.remove_label g a "User" in
+        Alcotest.(check (option (list int)))
+          "leaves on remove_label" (Some [])
+          (Graph.nodes_with_prop g ~label:"User" ~key:"id" (vint 7)));
+    case "index follows node deletion" (fun () ->
+        let a, g = user "id" (vint 7) Graph.empty in
+        let b, g = user "id" (vint 7) g in
+        let g = Graph.add_prop_index ~label:"User" ~key:"id" g in
+        let g = Graph.remove_node_detach g a in
+        Alcotest.(check (option (list int)))
+          "survivor only" (Some [ b ])
+          (Graph.nodes_with_prop g ~label:"User" ~key:"id" (vint 7)));
+    case "rebuild re-registers the requested indexes" (fun () ->
+        let a, g = user "id" (vint 7) Graph.empty in
+        let g = Graph.add_prop_index ~label:"User" ~key:"id" g in
+        let g' =
+          Graph.rebuild
+            ~prop_indexes:(Graph.prop_index_keys g)
+            ~next_id:(Graph.next_id g) ~tombs:(Graph.tombstones g)
+            (Graph.nodes g) (Graph.rels g)
+        in
+        Alcotest.(check (list (pair string string)))
+          "keys survive" [ ("User", "id") ] (Graph.prop_index_keys g');
+        Alcotest.(check (option (list int)))
+          "bucket rebuilt" (Some [ a ])
+          (Graph.nodes_with_prop g' ~label:"User" ~key:"id" (vint 7)));
+  ]
+
+let suite = suite @ histogram_tests @ typed_adjacency_tests @ prop_index_tests
