@@ -51,26 +51,37 @@ let parse_string src : string list list =
           incr line;
           flush_row ();
           plain (i + 1)
-      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | '"' when Buffer.length buf = 0 -> quoted ~open_line:!line (i + 1)
       | c ->
           Buffer.add_char buf c;
           plain (i + 1)
-  and quoted i =
+  and quoted ~open_line i =
     if i >= n then
-      raise (Csv_error { message = "unterminated quoted field"; line = !line })
+      (* report the line the quote opened on, not the line the scan for
+         a closing quote ran out of input at — the opening quote is
+         where the malformation is *)
+      raise
+        (Csv_error
+           {
+             message =
+               Printf.sprintf
+                 "unterminated quoted field (quote opened at line %d)"
+                 open_line;
+             line = open_line;
+           })
     else
       match src.[i] with
       | '"' when i + 1 < n && src.[i + 1] = '"' ->
           Buffer.add_char buf '"';
-          quoted (i + 2)
+          quoted ~open_line (i + 2)
       | '"' -> plain (i + 1)
       | '\n' ->
           incr line;
           Buffer.add_char buf '\n';
-          quoted (i + 1)
+          quoted ~open_line (i + 1)
       | c ->
           Buffer.add_char buf c;
-          quoted (i + 1)
+          quoted ~open_line (i + 1)
   in
   plain 0;
   List.rev !rows

@@ -17,9 +17,10 @@ val error_to_string : error -> string
 exception Csv_error of error
 
 (** [parse_string src] splits CSV text into rows of raw string fields.
-    Handles quoted fields (with embedded commas, newlines and doubled
-    quotes) and both LF and CRLF line endings.
-    @raise Csv_error on malformed input. *)
+    Handles quoted fields (with embedded commas, newlines, CRLF and
+    doubled quotes) and both LF and CRLF line endings.
+    @raise Csv_error on malformed input; an unterminated quoted field at
+    end of input reports the line its opening quote is on. *)
 val parse_string : string -> string list list
 
 (** Types a raw field: empty or [null] → null; integer / float /

@@ -1,0 +1,277 @@
+(** Persistent regression corpus for the fuzzing oracles.
+
+    A corpus entry is one [.cy] file: comment headers describing which
+    oracle to run and how to set up the input graph, followed by the
+    statement under test.
+
+    {v
+    // oracle: roundtrip | planner | divergence | wellformed | eval
+    // index: A id                     (zero or more; property indexes)
+    // graph: CREATE (:A {k: 1})       (zero or more; setup statements)
+    // expect: eq=false                ('eval' oracle only)
+    MATCH (n:A) RETURN n.k = 1 AS eq
+    v}
+
+    Entries come from two sources: hand-written regressions (the Value
+    comparison bugs of this PR fail on the pre-fix tree exactly through
+    their entries here) and shrunk fuzzer failures appended by
+    [fuzz_main -corpus].  The whole directory is replayed by tier-1. *)
+
+module Graph = Cypher_graph.Graph
+module Value = Cypher_graph.Value
+module Table = Cypher_table.Table
+module Record = Cypher_table.Record
+module Api = Cypher_core.Api
+module Config = Cypher_core.Config
+module Errors = Cypher_core.Errors
+module Pretty = Cypher_ast.Pretty
+open Cypher_ast.Ast
+
+type oracle =
+  | Roundtrip
+  | Planner
+  | Divergence
+  | Wellformed
+  | Eval of string  (** expected canonical rendering of the result table *)
+
+type entry = {
+  name : string;
+  oracle : oracle;
+  indexes : (string * string) list;  (** (label, key) property indexes *)
+  setup : string list;  (** statements building the input graph *)
+  statement : string;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Parsing and rendering                                              *)
+(* ------------------------------------------------------------------ *)
+
+let strip s =
+  let is_space c = c = ' ' || c = '\t' || c = '\r' in
+  let n = String.length s in
+  let i = ref 0 and j = ref n in
+  while !i < n && is_space s.[!i] do incr i done;
+  while !j > !i && is_space s.[!j - 1] do decr j done;
+  String.sub s !i (!j - !i)
+
+let header line =
+  (* "// key: value" -> Some (key, value) *)
+  let line = strip line in
+  if String.length line < 2 || String.sub line 0 2 <> "//" then None
+  else
+    let rest = strip (String.sub line 2 (String.length line - 2)) in
+    match String.index_opt rest ':' with
+    | None -> None
+    | Some i ->
+        Some
+          ( strip (String.sub rest 0 i),
+            strip (String.sub rest (i + 1) (String.length rest - i - 1)) )
+
+let parse_entry ~name text : (entry, string) result =
+  let lines = String.split_on_char '\n' text in
+  let oracle = ref None
+  and indexes = ref []
+  and setup = ref []
+  and expect = ref None
+  and body = ref [] in
+  List.iter
+    (fun line ->
+      match header line with
+      | Some ("oracle", v) -> oracle := Some v
+      | Some ("index", v) -> (
+          match String.split_on_char ' ' v |> List.filter (( <> ) "") with
+          | [ label; key ] -> indexes := !indexes @ [ (label, key) ]
+          | _ -> ())
+      | Some ("graph", v) -> setup := !setup @ [ v ]
+      | Some ("expect", v) -> expect := Some v
+      | Some _ -> () (* unrecognised header: plain comment *)
+      | None ->
+          let line = strip line in
+          if line <> "" && not (String.length line >= 2 && String.sub line 0 2 = "//")
+          then body := !body @ [ line ])
+    lines;
+  let statement = String.concat "\n" !body in
+  if statement = "" then Error (name ^ ": no statement body")
+  else
+    match (!oracle, !expect) with
+    | Some "roundtrip", _ ->
+        Ok { name; oracle = Roundtrip; indexes = !indexes; setup = !setup; statement }
+    | Some "planner", _ ->
+        Ok { name; oracle = Planner; indexes = !indexes; setup = !setup; statement }
+    | Some "divergence", _ ->
+        Ok { name; oracle = Divergence; indexes = !indexes; setup = !setup; statement }
+    | Some "wellformed", _ ->
+        Ok { name; oracle = Wellformed; indexes = !indexes; setup = !setup; statement }
+    | Some "eval", Some expected ->
+        Ok { name; oracle = Eval expected; indexes = !indexes; setup = !setup; statement }
+    | Some "eval", None -> Error (name ^ ": eval entry without // expect:")
+    | Some o, _ -> Error (name ^ ": unknown oracle " ^ o)
+    | None, _ -> Error (name ^ ": missing // oracle: header")
+
+let oracle_keyword = function
+  | Roundtrip -> "roundtrip"
+  | Planner -> "planner"
+  | Divergence -> "divergence"
+  | Wellformed -> "wellformed"
+  | Eval _ -> "eval"
+
+let render_entry e =
+  let b = Buffer.create 256 in
+  Buffer.add_string b ("// oracle: " ^ oracle_keyword e.oracle ^ "\n");
+  List.iter
+    (fun (l, k) -> Buffer.add_string b (Printf.sprintf "// index: %s %s\n" l k))
+    e.indexes;
+  List.iter (fun s -> Buffer.add_string b ("// graph: " ^ s ^ "\n")) e.setup;
+  (match e.oracle with
+  | Eval expected -> Buffer.add_string b ("// expect: " ^ expected ^ "\n")
+  | _ -> ());
+  Buffer.add_string b e.statement;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Graph serialisation (for appending shrunk fuzzer failures)         *)
+(* ------------------------------------------------------------------ *)
+
+let rec lit_of_value = function
+  | Value.Int i -> Lit (L_int i)
+  | Value.Float f -> Lit (L_float f)
+  | Value.String s -> Lit (L_string s)
+  | Value.Bool b -> Lit (L_bool b)
+  | Value.List l -> List_lit (List.map lit_of_value l)
+  | _ -> Lit L_null
+
+let props_exprs props =
+  List.map (fun (k, v) -> (k, lit_of_value v))
+    (Cypher_graph.Props.bindings props)
+
+(** Renders a graph as (indexes, setup statements): one CREATE binding
+    every node to a variable [v<id>], then anchoring every relationship
+    on those variables.  Entity ids are not preserved — corpus replays
+    care about shapes, not identities. *)
+let graph_to_setup g =
+  let indexes = Graph.prop_index_keys g in
+  let var id = Printf.sprintf "v%d" id in
+  let node_pat (n : Graph.node) =
+    {
+      pat_var = None;
+      pat_start =
+        {
+          np_var = Some (var n.Graph.n_id);
+          np_labels = Cypher_util.Maps.Sset.elements n.Graph.labels;
+          np_props = props_exprs n.Graph.n_props;
+        };
+      pat_steps = [];
+    }
+  in
+  let anchor id = { np_var = Some (var id); np_labels = []; np_props = [] } in
+  let rel_pat (r : Graph.rel) =
+    {
+      pat_var = None;
+      pat_start = anchor r.Graph.src;
+      pat_steps =
+        [
+          ( {
+              rp_var = None;
+              rp_types = [ r.Graph.r_type ];
+              rp_props = props_exprs r.Graph.r_props;
+              rp_dir = Out;
+              rp_range = None;
+            },
+            anchor r.Graph.tgt );
+        ];
+    }
+  in
+  let patterns =
+    List.map node_pat (Graph.nodes g) @ List.map rel_pat (Graph.rels g)
+  in
+  let setup =
+    if patterns = [] then []
+    else [ Pretty.query_to_string { clauses = [ Create patterns ]; union = None } ]
+  in
+  (indexes, setup)
+
+let entry_of_failure ~name ~oracle ~graph ~query =
+  let indexes, setup = graph_to_setup graph in
+  { name; oracle; indexes; setup; statement = Pretty.query_to_string query }
+
+(* ------------------------------------------------------------------ *)
+(* Checking                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Canonical one-line rendering of a result table: rows in table
+    order, each as [col=value] pairs in column order.  Execution is
+    deterministic, so the rendering is too. *)
+let render_table t =
+  let cols = Table.columns t in
+  let row r =
+    String.concat ", "
+      (List.map (fun c -> c ^ "=" ^ Value.to_string (Record.find r c)) cols)
+  in
+  match Table.rows t with
+  | [] -> "<no rows>"
+  | rows -> String.concat " | " (List.map row rows)
+
+let build_graph e : (Graph.t, string) result =
+  let g =
+    List.fold_left
+      (fun g (label, key) -> Graph.add_prop_index ~label ~key g)
+      Graph.empty e.indexes
+  in
+  List.fold_left
+    (fun acc stmt ->
+      Result.bind acc (fun g ->
+          match Api.run_string ~config:Config.permissive g stmt with
+          | Ok o -> Ok o.Api.graph
+          | Error err ->
+              Error
+                (Printf.sprintf "%s: setup %S failed: %s" e.name stmt
+                   (Errors.to_string err))))
+    (Ok g) e.setup
+
+(** Runs the entry's oracle; [Ok ()] means the regression holds. *)
+let check e : (unit, string) result =
+  let ( let* ) = Result.bind in
+  let* g = build_graph e in
+  let* q =
+    match Api.parse ~dialect:Cypher_ast.Validate.Permissive e.statement with
+    | Ok q -> Ok q
+    | Error err ->
+        Error (Printf.sprintf "%s: statement does not parse: %s" e.name
+                 (Errors.to_string err))
+  in
+  match e.oracle with
+  | Roundtrip -> Oracles.roundtrip q
+  | Planner -> Oracles.planner_equivalence g q
+  | Wellformed -> Oracles.wellformed g q
+  | Divergence -> (
+      match Oracles.divergence g q with
+      | Oracles.Agree | Oracles.Classified _ -> Ok ()
+      | Oracles.Unclassified detail ->
+          Error (e.name ^ ": unclassified divergence: " ^ detail))
+  | Eval expected -> (
+      match Api.run_query ~config:Config.permissive g q with
+      | Error err ->
+          Error (Printf.sprintf "%s: execution failed: %s" e.name
+                   (Errors.to_string err))
+      | Ok o ->
+          let got = render_table o.Api.table in
+          if got = expected then Ok ()
+          else
+            Error
+              (Printf.sprintf "%s: expected %s but got %s" e.name expected got))
+
+(* ------------------------------------------------------------------ *)
+(* Files                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let load_file path : (entry, string) result =
+  let name = Filename.remove_extension (Filename.basename path) in
+  let text = In_channel.with_open_text path In_channel.input_all in
+  parse_entry ~name text
+
+let load_dir dir : (entry, string) result list =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".cy")
+  |> List.sort compare
+  |> List.map (fun f -> load_file (Filename.concat dir f))

@@ -1,0 +1,402 @@
+(** The four cross-validation oracles run against every generated case.
+
+    1. {!roundtrip}: pretty-print → re-parse → AST equality.  Guards
+       the concrete syntax layer: every AST the generator can build must
+       survive the printer/parser pair unchanged.
+    2. {!planner_equivalence}: planner-on vs planner-off execution under
+       the revised semantics.  Cost-guided planning may change row
+       *order* but never the row *set* nor the result graph.
+    3. {!divergence}: legacy (Cypher 9) vs revised (atomic) execution.
+       The two semantics are allowed to differ — that difference is the
+       paper's subject — but only in the sanctioned ways catalogued by
+       {!category}.  An unclassifiable divergence is a bug in one of the
+       two engines.
+    4. {!wellformed}: after every successful update, the result graph
+       must have no dangling relationship endpoints and all maintained
+       secondary indexes (label, type, typed adjacency, property) must
+       agree with a from-scratch {!Graph.rebuild}. *)
+
+open Cypher_ast.Ast
+open Cypher_util.Maps
+module Graph = Cypher_graph.Graph
+module Props = Cypher_graph.Props
+module Value = Cypher_graph.Value
+module Iso = Cypher_graph.Iso
+module Table = Cypher_table.Table
+module Record = Cypher_table.Record
+module Api = Cypher_core.Api
+module Config = Cypher_core.Config
+module Errors = Cypher_core.Errors
+module Pretty = Cypher_ast.Pretty
+module Parser = Cypher_parser.Parser
+
+(* ------------------------------------------------------------------ *)
+(* Query inspection                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type features = { has_set : bool; has_delete : bool; has_merge : bool }
+
+let query_features q =
+  let f = ref { has_set = false; has_delete = false; has_merge = false } in
+  let rec clause = function
+    | Set _ -> f := { !f with has_set = true }
+    | Remove _ -> f := { !f with has_set = true }
+    | Delete _ -> f := { !f with has_delete = true }
+    | Merge { on_create; on_match; _ } ->
+        f :=
+          {
+            !f with
+            has_merge = true;
+            has_set = !f.has_set || on_create <> [] || on_match <> [];
+          }
+    | Foreach { fe_body; _ } -> List.iter clause fe_body
+    | Create _ | Match _ | Unwind _ | With _ | Return _ -> ()
+  in
+  let rec query q =
+    List.iter clause q.clauses;
+    Option.iter (fun (_, q') -> query q') q.union
+  in
+  query q;
+  !f
+
+let rec query_is_update q =
+  List.exists is_update_clause q.clauses
+  || Option.fold ~none:false ~some:(fun (_, q') -> query_is_update q') q.union
+
+let rec has_skip_limit q =
+  List.exists
+    (function
+      | With p | Return p -> p.proj_skip <> None || p.proj_limit <> None
+      | _ -> false)
+    q.clauses
+  || Option.fold ~none:false ~some:(fun (_, q') -> has_skip_limit q') q.union
+
+(** Rewrites every MERGE (of whatever flavour) to the legacy per-record
+    match-or-create.  The divergence oracle compares the *same* pattern
+    text under both semantic regimes; {!Cypher_core.Merge} dispatches on
+    the clause's own mode, so the legacy run needs the clause rewritten,
+    not just the configuration switched. *)
+let rec legacy_clause = function
+  | Merge m -> Merge { m with mode = Merge_legacy }
+  | Foreach f -> Foreach { f with fe_body = List.map legacy_clause f.fe_body }
+  | c -> c
+
+let rec legacy_query q =
+  {
+    clauses = List.map legacy_clause q.clauses;
+    union = Option.map (fun (all, q') -> (all, legacy_query q')) q.union;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Error comparison                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type error_kind =
+  | K_parse
+  | K_validation
+  | K_eval
+  | K_set_conflict
+  | K_delete_dangling
+  | K_statement_dangling
+  | K_update
+
+let error_kind = function
+  | Errors.Parse_error _ -> K_parse
+  | Errors.Validation_error _ -> K_validation
+  | Errors.Eval_error _ -> K_eval
+  | Errors.Set_conflict _ -> K_set_conflict
+  | Errors.Delete_dangling _ -> K_delete_dangling
+  | Errors.Statement_dangling _ -> K_statement_dangling
+  | Errors.Update_error _ -> K_update
+
+let kind_name = function
+  | K_parse -> "parse"
+  | K_validation -> "validation"
+  | K_eval -> "eval"
+  | K_set_conflict -> "set-conflict"
+  | K_delete_dangling -> "delete-dangling"
+  | K_statement_dangling -> "statement-dangling"
+  | K_update -> "update"
+
+(* ------------------------------------------------------------------ *)
+(* Configurations                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* All four oracles validate under Permissive: the generator emits the
+   full repertoire (MERGE ALL / SAME and, after rewriting, legacy
+   MERGE), and the comparison must isolate *semantic* differences, not
+   dialect gatekeeping. *)
+let legacy_config =
+  { Config.cypher9 with dialect = Cypher_ast.Validate.Permissive;
+    planner = Config.Off }
+
+let revised_naive = { Config.permissive with planner = Config.Off }
+let revised_planned = { Config.permissive with planner = Config.On }
+
+let run config g q = Api.run_query ~config g q
+
+(* ------------------------------------------------------------------ *)
+(* Oracle 1: print/parse round-trip                                   *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip q : (unit, string) result =
+  let printed = Pretty.query_to_string q in
+  match Parser.parse_string printed with
+  | Error e ->
+      Error
+        (Printf.sprintf "re-parse of %S failed: %s" printed
+           (Parser.error_to_string e))
+  | Ok q' ->
+      if q = q' then Ok ()
+      else Error (Printf.sprintf "round-trip changed the AST of %S" printed)
+
+(* ------------------------------------------------------------------ *)
+(* Oracle 2: planner-on vs planner-off                                *)
+(* ------------------------------------------------------------------ *)
+
+let outcome_summary (o : Api.outcome) =
+  Fmt.str "columns=[%s] rows=%d"
+    (String.concat "," (Table.columns o.table))
+    (Table.row_count o.table)
+
+let planner_equivalence g q : (unit, string) result =
+  let on = run revised_planned g q in
+  let off = run revised_naive g q in
+  match (on, off) with
+  | Error e1, Error e2 ->
+      if error_kind e1 = error_kind e2 then Ok ()
+      else
+        Error
+          (Fmt.str "planner-on fails with %s but planner-off with %s"
+             (kind_name (error_kind e1))
+             (kind_name (error_kind e2)))
+  | Ok _, Error e ->
+      Error (Fmt.str "planner-off fails (%s) where planner-on succeeds"
+               (Errors.to_string e))
+  | Error e, Ok _ ->
+      Error (Fmt.str "planner-on fails (%s) where planner-off succeeds"
+               (Errors.to_string e))
+  | Ok o1, Ok o2 ->
+      if not (Iso.isomorphic o1.graph o2.graph) then
+        Error "planner-on and planner-off result graphs are not isomorphic"
+      else if query_is_update q || has_skip_limit q then
+        (* created entity ids (and, under SKIP/LIMIT, the surviving tie
+           rows) may legitimately differ; compare shapes *)
+        if
+          Table.columns o1.table = Table.columns o2.table
+          && Table.row_count o1.table = Table.row_count o2.table
+        then Ok ()
+        else
+          Error
+            (Fmt.str "planner tables differ in shape: %s vs %s"
+               (outcome_summary o1) (outcome_summary o2))
+      else if Table.equal_as_bags o1.table o2.table then Ok ()
+      else
+        Error
+          (Fmt.str "planner changed the result row set: %s vs %s"
+             (outcome_summary o1) (outcome_summary o2))
+
+(* ------------------------------------------------------------------ *)
+(* Oracle 3: legacy vs revised divergence classification              *)
+(* ------------------------------------------------------------------ *)
+
+(** The sanctioned ways the two semantics may differ — the paper's
+    catalogue of legacy defects (Sections 3–5). *)
+type category =
+  | Set_race  (** per-record SET races; atomic run raises Set_conflict *)
+  | Own_writes  (** legacy clauses re-read their own writes *)
+  | Merge_interference  (** legacy MERGE matches what earlier records created *)
+  | Dangling_delete  (** force-delete vs strict delete-with-check *)
+
+let category_name = function
+  | Set_race -> "set-race"
+  | Own_writes -> "own-writes"
+  | Merge_interference -> "merge-interference"
+  | Dangling_delete -> "dangling-delete"
+
+let all_categories = [ Set_race; Own_writes; Merge_interference; Dangling_delete ]
+
+type divergence_outcome =
+  | Agree
+  | Classified of category
+  | Unclassified of string
+
+let divergence g q : divergence_outcome =
+  let f = query_features q in
+  let legacy = run legacy_config g (legacy_query q) in
+  let revised = run revised_naive g q in
+  let classify detail =
+    match (legacy, revised) with
+    | _, Error (Errors.Set_conflict _) -> Classified Set_race
+    | Error (Errors.Statement_dangling _), _
+    | _, Error (Errors.Delete_dangling _) ->
+        Classified Dangling_delete
+    | _ when f.has_delete -> Classified Dangling_delete
+    | _ when f.has_merge -> Classified Merge_interference
+    | _ when f.has_set -> Classified Own_writes
+    | _ -> Unclassified detail
+  in
+  match (legacy, revised) with
+  | Error e1, Error e2 when error_kind e1 = error_kind e2 -> Agree
+  | Error e1, Error e2 ->
+      classify
+        (Fmt.str "legacy fails with %s, revised with %s"
+           (kind_name (error_kind e1))
+           (kind_name (error_kind e2)))
+  | Ok _, Error e ->
+      classify (Fmt.str "only revised fails: %s" (Errors.to_string e))
+  | Error e, Ok _ ->
+      classify (Fmt.str "only legacy fails: %s" (Errors.to_string e))
+  | Ok o1, Ok o2 ->
+      let same_graph = Iso.isomorphic o1.graph o2.graph in
+      let same_table =
+        if query_is_update q then
+          (* created ids may differ between regimes even when the result
+             is semantically the same; compare table shapes only *)
+          Table.columns o1.table = Table.columns o2.table
+          && Table.row_count o1.table = Table.row_count o2.table
+        else Table.equal_as_bags o1.table o2.table
+      in
+      if same_graph && same_table then Agree
+      else
+        classify
+          (Fmt.str "results differ (%s vs %s; graphs %s)"
+             (outcome_summary o1) (outcome_summary o2)
+             (if same_graph then "isomorphic" else "differ"))
+
+(* ------------------------------------------------------------------ *)
+(* Oracle 4: result-graph well-formedness and index agreement         *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let check b detail = if b then Ok () else Error (detail ())
+
+let iter_check f l =
+  List.fold_left (fun acc x -> let* () = acc in f x) (Ok ()) l
+
+let ids_of_rels rels = List.map (fun (r : Graph.rel) -> r.Graph.r_id) rels
+
+(** Compares every maintained index of [g] against [reference], a graph
+    freshly rebuilt from [g]'s entity lists: any disagreement means the
+    incremental maintenance of some index drifted during the update. *)
+let indexes_agree (g : Graph.t) (reference : Graph.t) : (unit, string) result =
+  let* () =
+    check
+      (Graph.label_histogram g = Graph.label_histogram reference)
+      (fun () -> "label histogram disagrees with a from-scratch rebuild")
+  in
+  let* () =
+    check
+      (Graph.type_histogram g = Graph.type_histogram reference)
+      (fun () -> "type histogram disagrees with a from-scratch rebuild")
+  in
+  let* () =
+    iter_check
+      (fun (l, _) ->
+        check
+          (Graph.nodes_with_label g l = Graph.nodes_with_label reference l)
+          (fun () -> Fmt.str "label index for %s disagrees with rebuild" l))
+      (Graph.label_histogram g)
+  in
+  let* () =
+    iter_check
+      (fun (ty, _) ->
+        check
+          (ids_of_rels (Graph.rels_with_type g ty)
+          = ids_of_rels (Graph.rels_with_type reference ty))
+          (fun () -> Fmt.str "type index for %s disagrees with rebuild" ty))
+      (Graph.type_histogram g)
+  in
+  let types = List.map fst (Graph.type_histogram g) in
+  let* () =
+    iter_check
+      (fun (n : Graph.node) ->
+        let id = n.Graph.n_id in
+        let* () =
+          check
+            (Iset.equal (Graph.out_rel_ids g id) (Graph.out_rel_ids reference id)
+            && Iset.equal (Graph.in_rel_ids g id) (Graph.in_rel_ids reference id))
+            (fun () -> Fmt.str "adjacency of node %d disagrees with rebuild" id)
+        in
+        iter_check
+          (fun ty ->
+            check
+              (Iset.equal
+                 (Graph.out_rel_ids_typed g id ty)
+                 (Graph.out_rel_ids_typed reference id ty)
+              && Iset.equal
+                   (Graph.in_rel_ids_typed g id ty)
+                   (Graph.in_rel_ids_typed reference id ty))
+              (fun () ->
+                Fmt.str "typed adjacency of node %d (:%s) disagrees with rebuild"
+                  id ty))
+          types)
+      (Graph.nodes g)
+  in
+  (* property indexes: the maintained index must agree both with the
+     rebuilt index and with a direct scan over the node list *)
+  iter_check
+    (fun (label, key) ->
+      let probe_values =
+        Value.Null :: Value.Int 12345
+        :: List.filter_map
+             (fun (n : Graph.node) ->
+               match Props.get n.Graph.n_props key with
+               | Value.Null -> None
+               | v -> Some v)
+             (Graph.nodes g)
+      in
+      iter_check
+        (fun v ->
+          let scanned =
+            if Value.is_null v then []
+            else
+              List.filter_map
+                (fun (n : Graph.node) ->
+                  if
+                    Sset.mem label n.Graph.labels
+                    && Value.equal_strict (Props.get n.Graph.n_props key) v
+                  then Some n.Graph.n_id
+                  else None)
+                (Graph.nodes g)
+          in
+          let maintained = Graph.nodes_with_prop g ~label ~key v in
+          let rebuilt = Graph.nodes_with_prop reference ~label ~key v in
+          let* () =
+            check
+              (maintained = Some scanned)
+              (fun () ->
+                Fmt.str "property index (%s,%s) at %s disagrees with a scan"
+                  label key (Value.to_string v))
+          in
+          let* () =
+            check (maintained = rebuilt) (fun () ->
+                Fmt.str "property index (%s,%s) at %s disagrees with rebuild"
+                  label key (Value.to_string v))
+          in
+          check
+            (Graph.count_with_prop g ~label ~key v = Some (List.length scanned))
+            (fun () ->
+              Fmt.str "property index count (%s,%s) at %s is wrong" label key
+                (Value.to_string v)))
+        probe_values)
+    (Graph.prop_index_keys g)
+
+let wellformed g q : (unit, string) result =
+  match run revised_planned g q with
+  | Error _ -> Ok () (* failed statements leave no result graph to audit *)
+  | Ok o ->
+      let g' = o.Api.graph in
+      let* () =
+        check (Graph.is_wellformed g') (fun () ->
+            Fmt.str "result graph has %d dangling relationship(s)"
+              (List.length (Graph.dangling_rels g')))
+      in
+      let reference =
+        Graph.rebuild
+          ~prop_indexes:(Graph.prop_index_keys g')
+          ~next_id:(Graph.next_id g') ~tombs:(Graph.tombstones g')
+          (Graph.nodes g') (Graph.rels g')
+      in
+      indexes_agree g' reference

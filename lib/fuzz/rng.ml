@@ -1,0 +1,64 @@
+(** Deterministic seeded PRNG (splitmix64).
+
+    The fuzzing subsystem must be reproducible: a failing case is fully
+    identified by its iteration seed, so a reported failure can be
+    replayed, shrunk and turned into a corpus entry.  [Random] is
+    avoided on purpose — its state is global and its stream is not
+    stable across OCaml versions; splitmix64 is 12 lines and its output
+    is pinned forever. *)
+
+type t = { mutable state : int64 }
+
+let make seed = { state = Int64.of_int seed }
+
+(** Derives an independent generator; the child stream does not overlap
+    the parent's continuation. *)
+let split t =
+  { state = Int64.logxor t.state 0x9e3779b97f4a7c15L }
+
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9e3779b97f4a7c15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+(** [int t bound] is uniform in [0, bound).  [bound] must be positive. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* drop two bits: OCaml's native ints are 63-bit, so a 63-bit logical
+     shift result can still wrap negative through [Int64.to_int] *)
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+(** [range t lo hi] is uniform in [lo, hi] inclusive. *)
+let range t lo hi = lo + int t (hi - lo + 1)
+
+let bool t = int t 2 = 0
+
+(** [chance t num den] is true with probability num/den. *)
+let chance t num den = int t den < num
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let pick_list t l =
+  match l with
+  | [] -> invalid_arg "Rng.pick_list: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+(** A list of [n] elements drawn from [f]. *)
+let list t n f = List.init n (fun _ -> f t)
+
+(** Shuffles a list (Fisher–Yates on an array copy). *)
+let shuffle t l =
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a

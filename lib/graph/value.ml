@@ -57,12 +57,39 @@ let is_null = function Null -> true | _ -> false
 (* Equality under ternary logic (the semantics of the [=] operator).  *)
 (* ------------------------------------------------------------------ *)
 
+(* 2^62 = [max_int] + 1 on 64-bit OCaml; exactly representable as a
+   float.  Any float at or beyond it exceeds every int, so the exact
+   cross-type comparison below only ever truncates floats whose
+   magnitude fits in an [Int64] without overflow. *)
+let int_range_bound = 0x1p62
+
+(** Exact comparison of an int with a (non-nan) float.  Going through
+    [float_of_int] is wrong: the embedding rounds above 2^53, making
+    e.g. [2^53 + 1] compare equal to [2^53 +. 0.] and order incorrectly
+    around the boundary.  Instead the float is split into integral and
+    fractional parts and the integral part is compared exactly. *)
+let compare_int_float (x : int) (y : float) =
+  if y >= int_range_bound then -1
+  else if y < -.int_range_bound then 1
+  else
+    let t = Float.trunc y in
+    (* |t| <= 2^62, integral: the conversion is exact *)
+    let ti = Int64.to_int (Int64.of_float t) in
+    if x < ti then -1
+    else if x > ti then 1
+    else compare 0. (y -. t)
+
+let is_nan = function Float f -> Float.is_nan f | _ -> false
+
+(** Total comparison of two numbers, used by the global sort order:
+    [Float.compare]'s deterministic placement of [nan] (below every
+    other number) is kept, and int/float comparison is exact. *)
 let num_compare a b =
   match (a, b) with
   | Int x, Int y -> compare x y
-  | Float x, Float y -> compare x y
-  | Int x, Float y -> compare (float_of_int x) y
-  | Float x, Int y -> compare x (float_of_int y)
+  | Float x, Float y -> Float.compare x y
+  | Int x, Float y -> if Float.is_nan y then 1 else compare_int_float x y
+  | Float x, Int y -> if Float.is_nan x then -1 else -compare_int_float y x
   | _ -> invalid_arg "Value.num_compare: not numbers"
 
 (** Ternary equality: [null] on either side yields [Unknown]; values of
@@ -73,7 +100,12 @@ let rec equal_tri a b : Tri.t =
   match (a, b) with
   | Null, _ | _, Null -> Tri.Unknown
   | Bool x, Bool y -> Tri.of_bool (x = y)
-  | (Int _ | Float _), (Int _ | Float _) -> Tri.of_bool (num_compare a b = 0)
+  | (Int _ | Float _), (Int _ | Float _) ->
+      (* NaN is unequal to everything under [=], including itself; the
+         global sort order ({!compare_total}) still places it
+         deterministically *)
+      if is_nan a || is_nan b then Tri.False
+      else Tri.of_bool (num_compare a b = 0)
   | String x, String y -> Tri.of_bool (String.equal x y)
   | Node x, Node y -> Tri.of_bool (x = y)
   | Rel x, Rel y -> Tri.of_bool (x = y)
@@ -202,7 +234,10 @@ let rec hash_total v =
 let rec compare_tri a b : (int, unit) result =
   match (family a, family b) with
   | F_null, _ | _, F_null -> Error ()
-  | F_number, F_number -> Ok (num_compare a b)
+  | F_number, F_number ->
+      (* NaN is incomparable under the ordering operators even though
+         the global sort order places it deterministically *)
+      if is_nan a || is_nan b then Error () else Ok (num_compare a b)
   | F_string, F_string -> (
       match (a, b) with
       | String x, String y -> Ok (String.compare x y)
@@ -241,6 +276,13 @@ let escape_string s =
       | '\\' -> Buffer.add_string buf "\\\\"
       | '\n' -> Buffer.add_string buf "\\n"
       | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when c < ' ' ->
+          (* remaining control characters: \uXXXX so the literal
+             round-trips through the lexer *)
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
       | c -> Buffer.add_char buf c)
     s;
   Buffer.contents buf
@@ -250,7 +292,10 @@ let rec pp ppf = function
   | Bool b -> Fmt.bool ppf b
   | Int i -> Fmt.int ppf i
   | Float f ->
-      if Float.is_integer f && Float.abs f < 1e15 then
+      (* canonical "nan": the C library prints the sign bit ("-nan"),
+         which is platform noise, not a value distinction *)
+      if Float.is_nan f then Fmt.string ppf "nan"
+      else if Float.is_integer f && Float.abs f < 1e15 then
         Fmt.pf ppf "%.1f" f
       else Fmt.float ppf f
   | String s -> Fmt.pf ppf "'%s'" (escape_string s)

@@ -49,17 +49,22 @@ val is_null : t -> bool
     either side yields [Unknown]; values of different families are not
     equal; lists and maps compare pointwise, where any pointwise
     [Unknown] makes the result [Unknown] unless some component is
-    definitely different. *)
+    definitely different.  [NaN] is unequal to everything, including
+    itself.  Int/float comparison is exact (no rounding through the
+    float embedding, which is lossy beyond 2^53). *)
 val equal_tri : t -> t -> Tri.t
 
 (** Strict structural equality used by tests and by the engine when
     checking well-definedness of atomic [SET] (where [null = null] must
     hold, unlike in the ternary [=] operator).  Numbers compare across
-    int/float. *)
+    int/float exactly; [NaN] equals [NaN] so that conflict detection
+    stays deterministic. *)
 val equal_strict : t -> t -> bool
 
 (** Total order over all values, by family rank first ([null] last):
-    used by [ORDER BY], grouping and [DISTINCT]. *)
+    used by [ORDER BY], grouping and [DISTINCT].  [NaN] sorts
+    deterministically below every other number (OCaml's
+    [Float.compare] placement). *)
 val compare_total : t -> t -> int
 
 (** Hash compatible with {!compare_total}: values equal under the total
@@ -69,10 +74,13 @@ val hash_total : t -> int
 
 (** Ordering comparison for the [<], [<=], [>], [>=] operators:
     [Error ()] (i.e. unknown) when either side is null or the families
-    are incomparable. *)
+    are incomparable.  [NaN] is incomparable to every number. *)
 val compare_tri : t -> t -> (int, unit) result
 
-(** [escape_string s] escapes [s] for a single-quoted Cypher literal. *)
+(** [escape_string s] escapes [s] for a single-quoted Cypher literal:
+    quotes and backslashes are escaped, control characters become
+    [\n]/[\t]/[\r]/[\b]/[\f] or [\uXXXX], so the printed literal
+    re-lexes to exactly [s]. *)
 val escape_string : string -> string
 
 (** Prints in Cypher literal syntax where one exists. *)

@@ -147,6 +147,40 @@ let lex_string st quote =
             Buffer.add_char buf '\r';
             advance st;
             loop ()
+        | Some 'b' ->
+            Buffer.add_char buf '\b';
+            advance st;
+            loop ()
+        | Some 'f' ->
+            Buffer.add_char buf '\012';
+            advance st;
+            loop ()
+        | Some 'u' ->
+            advance st;
+            let hex_digit () =
+              match peek st with
+              | Some c when c >= '0' && c <= '9' ->
+                  advance st;
+                  Char.code c - Char.code '0'
+              | Some c when c >= 'a' && c <= 'f' ->
+                  advance st;
+                  Char.code c - Char.code 'a' + 10
+              | Some c when c >= 'A' && c <= 'F' ->
+                  advance st;
+                  Char.code c - Char.code 'A' + 10
+              | _ -> fail st "\\u escape expects four hex digits"
+            in
+            let code =
+              let a = hex_digit () in
+              let b = hex_digit () in
+              let c = hex_digit () in
+              let d = hex_digit () in
+              (((a * 16) + b) * 16 + c) * 16 + d
+            in
+            if not (Uchar.is_valid code) then
+              fail st (Printf.sprintf "\\u%04x is not a valid code point" code);
+            Buffer.add_utf_8_uchar buf (Uchar.of_int code);
+            loop ()
         | Some ('\\' | '\'' | '"' as c) ->
             Buffer.add_char buf c;
             advance st;

@@ -1,0 +1,7 @@
+// Deleting a node with an attached relationship (paper Section 4.2):
+// legacy force-deletes and only notices the dangling relationship at
+// statement end; the revised semantics refuses up front.  The
+// divergence must classify as dangling-delete.
+// oracle: divergence
+// graph: CREATE (:A)-[:T]->(:B)
+MATCH (n:A) DELETE n

@@ -1,0 +1,6 @@
+// MERGE self-interference (paper Section 4.3): the legacy per-record
+// merge reads its own writes, so the second record matches what the
+// first created (one node); MERGE ALL evaluates every record against
+// the input graph (two nodes).  Must classify as merge-interference.
+// oracle: divergence
+UNWIND [1, 2] AS u MERGE ALL (:A {id: 0})

@@ -1,0 +1,6 @@
+// The canonical per-record SET race (paper Example 2): every m receives
+// x from each matched n.  Legacy last-writer-wins; the atomic semantics
+// raises Set_conflict.  The divergence must classify as set-race.
+// oracle: divergence
+// graph: CREATE (:A {k: 1}), (:A {k: 2})
+MATCH (n:A), (m:A) SET m.x = n.k

@@ -1,0 +1,6 @@
+// Cost-guided planning (index anchor selection, hop orientation) may
+// reorder rows but must never change the result row set.
+// oracle: planner
+// index: A id
+// graph: CREATE (:A {id: 1})-[:T]->(:B {k: 2}), (:A {id: 2})
+MATCH (a:A {id: 1})-[r:T]->(b) RETURN b.k AS bk

@@ -1,0 +1,5 @@
+// String literals with control characters and \uXXXX escapes must
+// survive the print -> re-parse round trip.  Regression for the
+// lexer/pretty escape extension.
+// oracle: roundtrip
+RETURN 'tab\tnl\ncr\rbs\bff\fvt\u000b accé eur€' AS s

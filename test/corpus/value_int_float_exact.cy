@@ -1,0 +1,6 @@
+// Exact int/float comparison beyond 2^53: going through float_of_int
+// rounds 2^53 + 1 onto 2^53.0, making these compare equal (and the
+// strict comparison fail).  Regression for the Value.num_compare fix.
+// oracle: eval
+// expect: eq=false, gt=true
+RETURN 9007199254740993 = 9007199254740992.0 AS eq, 9007199254740993 > 9007199254740992.0 AS gt

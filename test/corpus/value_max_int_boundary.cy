@@ -1,0 +1,6 @@
+// max_int (2^62 - 1) is below the float 2^62, but float_of_int max_int
+// rounds up to exactly 2^62, collapsing the strict inequality.
+// Regression for the Value.num_compare fix.
+// oracle: eval
+// expect: lt=true, eq=false
+RETURN 4611686018427387903 < 4611686018427387904.0 AS lt, 4611686018427387903 = 4611686018427387904.0 AS eq

@@ -1,0 +1,6 @@
+// NaN is unequal to everything under the = operator, including itself;
+// comparing via the total sort order wrongly yields nan = nan.
+// Regression for the Value.equal_tri NaN fix.
+// oracle: eval
+// expect: eq=false, ne=true, eqi=false
+RETURN 0.0 / 0.0 = 0.0 / 0.0 AS eq, 0.0 / 0.0 <> 1.0 AS ne, 0.0 / 0.0 = 1 AS eqi

@@ -1,0 +1,5 @@
+// The global sort order must still place NaN deterministically (below
+// every other number) even though = treats it as unequal to itself.
+// oracle: eval
+// expect: v=nan | v=0.5 | v=1.0
+UNWIND [1.0, 0.0 / 0.0, 0.5] AS v RETURN v ORDER BY v

@@ -1,0 +1,7 @@
+// After a DETACH DELETE, the label / type / adjacency / property
+// indexes must all agree with a from-scratch rebuild, and no dangling
+// endpoints may remain.
+// oracle: wellformed
+// index: A id
+// graph: CREATE (:A {id: 1})-[:T]->(:A {id: 2})
+MATCH (n:A {id: 1}) DETACH DELETE n

@@ -1,0 +1,59 @@
+(** Corpus replay and a bounded fuzzing smoke run (tier-1).
+
+    Every [.cy] file under [corpus/] is a regression: a hand-written
+    demonstration (the exact int/float and NaN comparison bugs fail
+    here on the pre-fix tree) or a shrunk fuzzer failure appended by
+    [fuzz_main -corpus].  The smoke run drives a bounded number of
+    freshly generated cases through all four oracles so tier-1 keeps
+    the whole pipeline honest without the cost of [@fuzz]. *)
+
+open Cypher_fuzz
+open Test_util
+
+let corpus_dir = "corpus"
+
+let corpus_cases =
+  if not (Sys.file_exists corpus_dir) then []
+  else
+    List.map
+      (fun loaded ->
+        match loaded with
+        | Error msg ->
+            case ("corpus entry parses: " ^ msg) (fun () -> Alcotest.fail msg)
+        | Ok e ->
+            case ("corpus " ^ e.Corpus.name) (fun () ->
+                match Corpus.check e with
+                | Ok () -> ()
+                | Error detail -> Alcotest.fail detail))
+      (Corpus.load_dir corpus_dir)
+
+let roundtrip_cases =
+  [
+    case "corpus entries survive render -> parse" (fun () ->
+        List.iter
+          (fun loaded ->
+            match loaded with
+            | Error msg -> Alcotest.fail msg
+            | Ok e -> (
+                match Corpus.parse_entry ~name:e.Corpus.name (Corpus.render_entry e) with
+                | Error msg -> Alcotest.fail msg
+                | Ok e' ->
+                    Alcotest.(check bool)
+                      ("entry " ^ e.Corpus.name ^ " unchanged")
+                      true (e = e')))
+          (if Sys.file_exists corpus_dir then Corpus.load_dir corpus_dir else []));
+  ]
+
+let smoke_cases =
+  [
+    case "fuzz smoke: 60 cases x 4 oracles" (fun () ->
+        let report = Fuzz.run ~seed:20260807 ~count:60 () in
+        match report.Fuzz.failures with
+        | [] -> ()
+        | f :: _ ->
+            Alcotest.failf "fuzz failure [%s] at iteration %d: %s\nstatement: %s"
+              f.Fuzz.oracle f.Fuzz.iteration f.Fuzz.detail
+              (Cypher_ast.Pretty.query_to_string f.Fuzz.query));
+  ]
+
+let suite = corpus_cases @ roundtrip_cases @ smoke_cases

@@ -53,6 +53,36 @@ let suite =
         match Csv.parse_string "\"oops" with
         | exception Csv.Csv_error _ -> ()
         | _ -> Alcotest.fail "should have raised");
+    case "unterminated quote reports its opening line" (fun () ->
+        (* the quote opens on line 3; the scan then swallows the rest of
+           the input (including more newlines) looking for the close *)
+        match Csv.parse_string "a,b\n1,2\n3,\"oops\nstill open\n" with
+        | exception Csv.Csv_error e ->
+            Alcotest.(check int) "line" 3 e.Csv.line;
+            let contains ~sub s =
+              let n = String.length sub and m = String.length s in
+              let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+              go 0
+            in
+            Alcotest.(check bool) "message names the line" true
+              (contains ~sub:"line 3" e.Csv.message)
+        | rows ->
+            Alcotest.failf "should have raised, got %d rows" (List.length rows));
+    case "crlf inside quotes is preserved verbatim" (fun () ->
+        Alcotest.(check (list (list string)))
+          "rows"
+          [ [ "a\r\nb"; "x" ]; [ "1"; "2" ] ]
+          (Csv.parse_string "\"a\r\nb\",x\r\n1,2\r\n"));
+    case "trailing newline does not add an empty row" (fun () ->
+        Alcotest.(check (list (list string)))
+          "lf" [ [ "a" ]; [ "b" ] ] (Csv.parse_string "a\nb\n");
+        Alcotest.(check (list (list string)))
+          "crlf" [ [ "a" ]; [ "b" ] ] (Csv.parse_string "a\r\nb\r\n");
+        Alcotest.(check (list (list string)))
+          "none" [ [ "a" ]; [ "b" ] ] (Csv.parse_string "a\r\nb");
+        (* a quoted field ending exactly at a trailing CRLF *)
+        Alcotest.(check (list (list string)))
+          "quoted before crlf" [ [ "a" ] ] (Csv.parse_string "\"a\"\r\n"));
   ]
 
 let file_tests =

@@ -52,6 +52,45 @@ let suite =
             [ (0, "T", 1); (1, "T", 2); (0, "T", 2) ]
         in
         Alcotest.(check bool) "not iso" false (iso g1 g2));
+    case "large symmetric graphs terminate" (fun () ->
+        (* A cycle of 40 indistinguishable nodes against an id-shifted
+           copy.  The pre-refinement checker enumerated node bijections
+           before looking at a single relationship, which is factorial
+           here; colour refinement plus incremental edge checking must
+           decide this instantly.  Also the near-miss: one reversed
+           relationship makes the cycles non-isomorphic only once edges
+           are compared. *)
+        let n = 40 in
+        let nodes = List.init n (fun _ -> ([], [])) in
+        let cycle shift =
+          List.init n (fun i -> ((i + shift) mod n, "T", (i + shift + 1) mod n))
+        in
+        let g1 = build nodes (cycle 0) in
+        let g2 = build nodes (cycle 7) in
+        Alcotest.(check bool) "shifted cycle iso" true (iso g1 g2);
+        let broken =
+          (1, "T", 0) :: List.tl (cycle 0)
+          (* reverse one edge: in-/out-degrees no longer all 1/1 *)
+        in
+        let g3 = build nodes broken in
+        Alcotest.(check bool) "reversed edge not iso" false (iso g1 g3));
+    case "search catches what refinement cannot" (fun () ->
+        (* The classic WL-indistinguishable pair: two 3-cycles vs one
+           6-cycle.  Both are 1-in/1-out regular, so colour refinement
+           leaves a single class; only the backtracking edge checks can
+           tell them apart. *)
+        let nodes = List.init 6 (fun _ -> ([], [])) in
+        let g1 =
+          build nodes
+            [ (0, "T", 1); (1, "T", 2); (2, "T", 0);
+              (3, "T", 4); (4, "T", 5); (5, "T", 3) ]
+        in
+        let g2 =
+          build nodes
+            [ (0, "T", 1); (1, "T", 2); (2, "T", 3);
+              (3, "T", 4); (4, "T", 5); (5, "T", 0) ]
+        in
+        Alcotest.(check bool) "3+3 vs 6 cycle" false (iso g1 g2));
     case "figure fixtures distinguish correctly" (fun () ->
         Alcotest.(check bool) "7a vs 7b" false (iso Fixtures.figure7a Fixtures.figure7b);
         Alcotest.(check bool) "7b vs 7c" false (iso Fixtures.figure7b Fixtures.figure7c);

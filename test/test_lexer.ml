@@ -32,6 +32,24 @@ let suite =
         check_kinds "single" [ Token.Str "a'b"; Token.Eof ] "'a\\'b'";
         check_kinds "double" [ Token.Str "x"; Token.Eof ] "\"x\"";
         check_kinds "newline escape" [ Token.Str "a\nb"; Token.Eof ] "'a\\nb'");
+    case "control-character escapes" (fun () ->
+        check_kinds "carriage return" [ Token.Str "a\rb"; Token.Eof ] "'a\\rb'";
+        check_kinds "backspace" [ Token.Str "a\bb"; Token.Eof ] "'a\\bb'";
+        check_kinds "form feed" [ Token.Str "a\012b"; Token.Eof ] "'a\\fb'";
+        check_kinds "tab" [ Token.Str "a\tb"; Token.Eof ] "'a\\tb'");
+    case "\\uXXXX escapes" (fun () ->
+        check_kinds "ascii" [ Token.Str "A"; Token.Eof ] "'\\u0041'";
+        check_kinds "control" [ Token.Str "\011"; Token.Eof ] "'\\u000b'";
+        check_kinds "uppercase hex" [ Token.Str "\011"; Token.Eof ] "'\\u000B'";
+        (* non-ASCII code points come out UTF-8 encoded *)
+        check_kinds "latin-1" [ Token.Str "\xc3\xa9"; Token.Eof ] "'\\u00e9'";
+        check_kinds "bmp" [ Token.Str "\xe2\x82\xac"; Token.Eof ] "'\\u20ac'");
+    case "malformed \\u escapes fail" (fun () ->
+        Alcotest.(check bool) "too short" true (lex_fails "'\\u00'");
+        Alcotest.(check bool) "not hex" true (lex_fails "'\\u00zz'");
+        Alcotest.(check bool) "surrogate" true (lex_fails "'\\ud800'"));
+    case "unknown escapes fail" (fun () ->
+        Alcotest.(check bool) "fails" true (lex_fails "'\\q'"));
     case "parameters" (fun () ->
         check_kinds "$p" [ Token.Param "p"; Token.Eof ] "$p");
     case "backtick identifiers" (fun () ->

@@ -28,6 +28,7 @@ let () =
       ("shortest_path", Test_shortest_path.suite);
       ("session", Test_session.suite);
       ("fuzz", Test_fuzz.suite);
+      ("corpus", Test_corpus.suite);
       ("errors", Test_errors.suite);
       ("integration", Test_integration.suite);
       ("differential", Test_differential.suite);

@@ -41,6 +41,11 @@ let hand_written =
      [y IN n.list WHERE y > 0 | y * 2] AS ys";
     "MERGE (n:X) ON CREATE SET n.c = 1 ON MATCH SET n.m = 2";
     "MATCH p = (a)-[:T]->(b) RETURN nodes(p), relationships(p)";
+    (* string literals with quotes and control characters must survive
+       the print → re-parse round trip *)
+    "RETURN 'it\\'s a \\\\ backslash' AS s";
+    "RETURN 'tab\\tnl\\ncr\\rbs\\bff\\fvt\\u000b' AS s";
+    "RETURN 'unicode \\u00e9\\u20ac' AS s";
   ]
 
 let unit_tests =
@@ -63,7 +68,10 @@ let gen_lit =
         return L_null;
         map (fun b -> L_bool b) bool;
         map (fun i -> L_int i) (int_range (-100) 100);
-        map (fun s -> L_string s) (oneofl [ "a"; "hello"; "x y" ]);
+        map
+          (fun s -> L_string s)
+          (oneofl
+             [ "a"; "hello"; "x y"; "it's"; "a\nb"; "q\"q"; "\011\012\r\b" ]);
       ])
 
 let gen_expr =

@@ -47,6 +47,93 @@ let equality_tests =
     ;
   ]
 
+(* 2^53 is the last float-exact integer: the boundary where the
+   float_of_int embedding starts rounding *)
+let two53 = 9007199254740992 (* 2^53 *)
+let f_two53 = 9007199254740992.0
+
+let exactness_tests =
+  [
+    case "ints beyond 2^53 do not equal nearby floats" (fun () ->
+        check_tri "2^53 = 2^53.0" Tri.True
+          (Value.equal_tri (vint two53) (Value.Float f_two53));
+        (* 2^53 + 1 is not representable as a float; float_of_int would
+           round it onto 2^53.0 and wrongly report equality *)
+        check_tri "2^53+1 = 2^53.0" Tri.False
+          (Value.equal_tri (vint (two53 + 1)) (Value.Float f_two53));
+        Alcotest.(check bool) "2^53+1 > 2^53.0" true
+          (Value.compare_total (vint (two53 + 1)) (Value.Float f_two53) > 0);
+        Alcotest.(check bool) "2^53.0 < 2^53+1" true
+          (Value.compare_total (Value.Float f_two53) (vint (two53 + 1)) < 0);
+        Alcotest.(check bool) "strict agrees" false
+          (Value.equal_strict (vint (two53 + 1)) (Value.Float f_two53)));
+    case "ordering is correct around the 2^53 boundary" (fun () ->
+        (* 2^53 + 2 IS representable; the three ints 2^53, 2^53+1,
+           2^53+2 must interleave correctly with the two floats *)
+        Alcotest.(check int) "2^53+2 = (2^53+2).0" 0
+          (Value.compare_total (vint (two53 + 2))
+             (Value.Float (f_two53 +. 2.)));
+        Alcotest.(check bool) "2^53+1 < (2^53+2).0" true
+          (Value.compare_total (vint (two53 + 1))
+             (Value.Float (f_two53 +. 2.))
+          < 0);
+        Alcotest.(check bool) "fractional float between ints" true
+          (Value.compare_tri (vint 2) (Value.Float 2.5) = Ok (-1)));
+    case "max_int compares exactly against floats" (fun () ->
+        (* float_of_int max_int rounds up to 2^62, which is strictly
+           greater than max_int = 2^62 - 1 *)
+        let f_max = float_of_int max_int in
+        Alcotest.(check bool) "max_int < float_of_int max_int" true
+          (Value.compare_total (vint max_int) (Value.Float f_max) < 0);
+        Alcotest.(check bool) "min_int = float min_int" true
+          (Value.compare_total (vint min_int) (Value.Float (float_of_int min_int))
+          = 0);
+        Alcotest.(check bool) "huge float > max_int" true
+          (Value.compare_total (Value.Float 1e30) (vint max_int) > 0);
+        Alcotest.(check bool) "-huge float < min_int" true
+          (Value.compare_total (Value.Float (-1e30)) (vint min_int) < 0);
+        Alcotest.(check bool) "infinity > max_int" true
+          (Value.compare_total (Value.Float infinity) (vint max_int) > 0);
+        Alcotest.(check bool) "-infinity < min_int" true
+          (Value.compare_total (Value.Float neg_infinity) (vint min_int) < 0));
+  ]
+
+let nan_tests =
+  let nan = Value.Float Float.nan in
+  [
+    case "NaN is unequal to everything under =" (fun () ->
+        check_tri "nan = nan" Tri.False (Value.equal_tri nan nan);
+        check_tri "nan = 1.0" Tri.False (Value.equal_tri nan (Value.Float 1.0));
+        check_tri "nan = 1" Tri.False (Value.equal_tri nan (vint 1));
+        check_tri "1 = nan" Tri.False (Value.equal_tri (vint 1) nan);
+        check_tri "null = nan still unknown" Tri.Unknown
+          (Value.equal_tri vnull nan));
+    case "NaN is incomparable under the ordering operators" (fun () ->
+        Alcotest.(check bool) "nan < 1 unknown" true
+          (Value.compare_tri nan (Value.Float 1.0) = Error ());
+        Alcotest.(check bool) "1 < nan unknown" true
+          (Value.compare_tri (vint 1) nan = Error ());
+        Alcotest.(check bool) "nan < nan unknown" true
+          (Value.compare_tri nan nan = Error ()));
+    case "NaN sorts deterministically in the global order" (fun () ->
+        Alcotest.(check int) "nan = nan totally" 0
+          (Value.compare_total nan nan);
+        Alcotest.(check bool) "strict nan = nan" true
+          (Value.equal_strict nan nan);
+        Alcotest.(check bool) "nan below every float" true
+          (Value.compare_total nan (Value.Float neg_infinity) < 0);
+        Alcotest.(check bool) "nan below every int" true
+          (Value.compare_total nan (vint min_int) < 0);
+        (* still inside the number family: numbers sort before null *)
+        Alcotest.(check bool) "nan before null" true
+          (Value.compare_total nan vnull < 0);
+        Alcotest.(check bool) "bool before nan" true
+          (Value.compare_total (vbool true) nan < 0));
+    case "NaN inside lists propagates inequality" (fun () ->
+        check_tri "[nan] = [nan]" Tri.False
+          (Value.equal_tri (vlist [ nan ]) (vlist [ nan ])));
+  ]
+
 let ordering_tests =
   [
     case "numbers order across int/float" (fun () ->
@@ -142,4 +229,6 @@ let qcheck_tests =
           else true);
     ]
 
-let suite = equality_tests @ ordering_tests @ printing_tests @ qcheck_tests
+let suite =
+  equality_tests @ exactness_tests @ nan_tests @ ordering_tests
+  @ printing_tests @ qcheck_tests
