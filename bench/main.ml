@@ -29,6 +29,23 @@ let parse_q src =
   | Ok q -> q
   | Error e -> failwith (Errors.to_string e)
 
+(* The baseline entries are pinned to the serial path so their numbers
+   stay comparable across runs regardless of CYPHER_PARALLELISM; the
+   parallel read-phase variants are recorded side by side under
+   .../par=N names. *)
+let cfg_cypher9 = Config.with_parallelism 0 Config.cypher9
+let cfg_revised = Config.with_parallelism 0 Config.revised
+let cfg_permissive = Config.with_parallelism 0 Config.permissive
+
+(* fan-out width of the par=N variants: CYPHER_PARALLELISM when it asks
+   for actual parallelism, 4 otherwise *)
+let par_level =
+  match Config.parallelism_of_string (Sys.getenv_opt "CYPHER_PARALLELISM") with
+  | n when n >= 2 -> n
+  | _ -> 4
+
+let cfg_revised_par = Config.with_parallelism par_level Config.revised
+
 let run_q config g q =
   match Api.run_query ~config g q with
   | Ok o -> o
@@ -62,12 +79,12 @@ let merge_src = Fixtures.example5_merge
 
 let merge_graph mode table () =
   Sys.opaque_identity
-    (fst (Runner.run_merge_mode Config.permissive ~mode merge_src (Graph.empty, table)))
+    (fst (Runner.run_merge_mode cfg_permissive ~mode merge_src (Graph.empty, table)))
 
 let legacy_merge table () =
   Sys.opaque_identity
     (fst
-       (Runner.run_merge_mode Config.cypher9 ~mode:Merge_legacy merge_src
+       (Runner.run_merge_mode cfg_cypher9 ~mode:Merge_legacy merge_src
           (Graph.empty, table)))
 
 (* SET workload: 100 products, bump every id — legacy vs atomic *)
@@ -113,6 +130,13 @@ let session_src =
 
 let q_session = parse_q session_src
 
+(* projection/filter workload for the parallel row-mapping path: no
+   graph access at all, pure per-row expression work *)
+let q_project =
+  parse_q
+    "UNWIND range(1, 5000) AS x WITH x, x * x AS y WHERE y % 3 = 0 RETURN \
+     count(*) AS n"
+
 (* ------------------------------------------------------------------ *)
 (* Test registry                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -127,48 +151,60 @@ let tests =
     t "parse/mixed" (fun () -> Sys.opaque_identity (parse_q src_mixed));
     (* match/* *)
     t "match/1hop/n=100" (fun () ->
-        Sys.opaque_identity (run_q Config.revised market100 q_1hop));
+        Sys.opaque_identity (run_q cfg_revised market100 q_1hop));
     t "match/1hop/n=1000" (fun () ->
-        Sys.opaque_identity (run_q Config.revised market1000 q_1hop));
+        Sys.opaque_identity (run_q cfg_revised market1000 q_1hop));
     t "match/2hop/n=100" (fun () ->
-        Sys.opaque_identity (run_q Config.revised market100 q_2hop));
+        Sys.opaque_identity (run_q cfg_revised market100 q_2hop));
     t "match/2hop/n=1000" (fun () ->
-        Sys.opaque_identity (run_q Config.revised market1000 q_2hop));
+        Sys.opaque_identity (run_q cfg_revised market1000 q_2hop));
     (* ablation: same workload with cost-guided planning disabled —
        naive left-to-right anchoring on the 680-user label bucket *)
     t "match/2hop/n=1000/planner-off" (fun () ->
         Sys.opaque_identity
-          (run_q (Config.with_planner Config.Off Config.revised) market1000
+          (run_q (Config.with_planner Config.Off cfg_revised) market1000
+             q_2hop));
+    (* parallel read-phase variants of the hot MATCH workloads: the
+       same queries with per-row expansion fanned out over par_level
+       domains (results byte-identical to the serial entries above) *)
+    t (Printf.sprintf "match/1hop/n=1000/par=%d" par_level) (fun () ->
+        Sys.opaque_identity (run_q cfg_revised_par market1000 q_1hop));
+    t (Printf.sprintf "match/2hop/n=1000/par=%d" par_level) (fun () ->
+        Sys.opaque_identity (run_q cfg_revised_par market1000 q_2hop));
+    t (Printf.sprintf "match/2hop/n=1000/planner-off/par=%d" par_level)
+      (fun () ->
+        Sys.opaque_identity
+          (run_q (Config.with_planner Config.Off cfg_revised_par) market1000
              q_2hop));
     (* point lookup: label scan vs registered property index *)
     t "match/point/label-scan" (fun () ->
-        Sys.opaque_identity (run_q Config.revised market1000 q_point));
+        Sys.opaque_identity (run_q cfg_revised market1000 q_point));
     t "match/point/prop-index" (fun () ->
-        Sys.opaque_identity (run_q Config.revised market1000_indexed q_point));
+        Sys.opaque_identity (run_q cfg_revised market1000_indexed q_point));
     t "match/figure1-query1" (fun () ->
-        Sys.opaque_identity (run_q Config.revised Fixtures.figure1_graph q_read));
+        Sys.opaque_identity (run_q cfg_revised Fixtures.figure1_graph q_read));
     (* ablation: homomorphic matching drops the used-relationship
        bookkeeping but enumerates more embeddings *)
     t "match/homo/2hop/n=100" (fun () ->
         Sys.opaque_identity
           (run_q
-             (Config.with_match_mode Config.Homomorphic Config.revised)
+             (Config.with_match_mode Config.Homomorphic cfg_revised)
              market100 q_2hop));
     (* create/* *)
     t "create/100-paths" (fun () ->
         Sys.opaque_identity
-          (run_q Config.revised Graph.empty
+          (run_q cfg_revised Graph.empty
              (parse_q "UNWIND range(1, 100) AS x CREATE (:A {v: x})-[:T]->(:B)")));
     (* set/* : the price of atomicity *)
     t "set/legacy/100" (fun () ->
-        Sys.opaque_identity (run_q Config.cypher9 set_graph q_set));
+        Sys.opaque_identity (run_q cfg_cypher9 set_graph q_set));
     t "set/atomic/100" (fun () ->
-        Sys.opaque_identity (run_q Config.revised set_graph q_set));
+        Sys.opaque_identity (run_q cfg_revised set_graph q_set));
     (* delete/* *)
     t "delete/legacy/detach" (fun () ->
-        Sys.opaque_identity (run_q Config.cypher9 market100 q_delete));
+        Sys.opaque_identity (run_q cfg_cypher9 market100 q_delete));
     t "delete/atomic/detach" (fun () ->
-        Sys.opaque_identity (run_q Config.revised market100 q_delete));
+        Sys.opaque_identity (run_q cfg_revised market100 q_delete));
     (* merge/<variant> on the Example-5 import workload *)
     t "merge/legacy/100" (legacy_merge orders100);
     t "merge/all/100" (merge_graph Merge_all orders100);
@@ -184,9 +220,15 @@ let tests =
         Sys.opaque_identity
           (Quotient.apply g ~new_nodes ~new_rels:[] ~node_pos_matters:false
              ~rel_pos_matters:false));
+    (* project/* : UNWIND + WITH...WHERE row mapping, serial vs fanned *)
+    t "project/unwind-filter/n=5000" (fun () ->
+        Sys.opaque_identity (run_q cfg_revised Graph.empty q_project));
+    t (Printf.sprintf "project/unwind-filter/n=5000/par=%d" par_level)
+      (fun () ->
+        Sys.opaque_identity (run_q cfg_revised_par Graph.empty q_project));
     (* endtoend/* *)
     t "endtoend/session/n=100" (fun () ->
-        Sys.opaque_identity (run_q Config.revised market100 q_session));
+        Sys.opaque_identity (run_q cfg_revised market100 q_session));
     (* io/* : dump and reload the 100-node marketplace *)
     t "io/dump/n=100" (fun () ->
         Sys.opaque_identity (Dump.to_cypher market100));
@@ -194,26 +236,26 @@ let tests =
       (let script = Dump.to_cypher market100 in
        fun () ->
          Sys.opaque_identity
-           (Api.run_program ~config:Config.revised Graph.empty script));
+           (Api.run_program ~config:cfg_revised Graph.empty script));
     (* figures/* : the paper's exact workloads *)
     t "figures/E6-legacy-merge" (fun () ->
         Sys.opaque_identity
-          (Runner.run_merge_mode Config.cypher9 ~mode:Merge_legacy
+          (Runner.run_merge_mode cfg_cypher9 ~mode:Merge_legacy
              Fixtures.example3_merge
              (Fixtures.example3_graph, Fixtures.example3_table)));
     t "figures/E8-merge-same" (fun () ->
         Sys.opaque_identity
-          (Runner.run_merge_mode Config.permissive ~mode:Merge_same
+          (Runner.run_merge_mode cfg_permissive ~mode:Merge_same
              Fixtures.example5_merge
              (Graph.empty, Fixtures.example5_table)));
     t "figures/E9-merge-collapse" (fun () ->
         Sys.opaque_identity
-          (Runner.run_merge_mode Config.permissive ~mode:Merge_collapse
+          (Runner.run_merge_mode cfg_permissive ~mode:Merge_collapse
              Fixtures.example6_merge
              (Graph.empty, Fixtures.example6_table)));
     t "figures/E10-merge-same" (fun () ->
         Sys.opaque_identity
-          (Runner.run_merge_mode Config.permissive ~mode:Merge_same
+          (Runner.run_merge_mode cfg_permissive ~mode:Merge_same
              Fixtures.example7_merge
              (Fixtures.example7_graph, Fixtures.example7_table)));
   ]
@@ -267,28 +309,56 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-(** Writes [name → ns/run] as a flat JSON object, machine-readable so
-    the perf trajectory is trackable across changes (EXPERIMENTS.md). *)
-let write_json path results =
+(** Writes the results as a JSON object with a provenance block:
+
+    {v
+    { "meta": { "git_sha": ..., "domains": ..., "parallelism": ...,
+                "units": "ns" },
+      "results": { "<bench name>": <ns/run>, ... } }
+    v}
+
+    machine-readable so the perf trajectory is trackable across changes
+    (EXPERIMENTS.md).  [domains] is what the machine offers,
+    [parallelism] is the fan-out width the par=N entries actually used. *)
+let write_json ~sha path results =
   let oc = open_out path in
   output_string oc "{\n";
+  Printf.fprintf oc "  \"meta\": {\n";
+  Printf.fprintf oc "    \"git_sha\": \"%s\",\n" (json_escape sha);
+  Printf.fprintf oc "    \"domains\": %d,\n" (Cypher_util.Pool.recommended ());
+  Printf.fprintf oc "    \"parallelism\": %d,\n" par_level;
+  Printf.fprintf oc "    \"units\": \"ns\"\n";
+  Printf.fprintf oc "  },\n";
+  output_string oc "  \"results\": {\n";
   let kept = List.filter (fun (_, est) -> est <> None) results in
   List.iteri
     (fun i (name, est) ->
       let ns = match est with Some ns -> ns | None -> assert false in
-      Printf.fprintf oc "  \"%s\": %.2f%s\n" (json_escape name) ns
+      Printf.fprintf oc "    \"%s\": %.2f%s\n" (json_escape name) ns
         (if i = List.length kept - 1 then "" else ","))
     kept;
+  output_string oc "  }\n";
   output_string oc "}\n";
   close_out oc
 
 let () =
-  let json_path =
-    match Array.to_list Sys.argv with
-    | _ :: "--json" :: path :: _ -> Some path
-    | _ :: [ "--json" ] -> Some "BENCH_results.json"
-    | _ -> None
+  let json_path = ref None and sha = ref "unknown" in
+  let rec parse_args = function
+    | [] -> ()
+    | "--json" :: path :: rest when String.length path >= 2
+                                    && String.sub path 0 2 <> "--" ->
+        json_path := Some path;
+        parse_args rest
+    | "--json" :: rest ->
+        json_path := Some "BENCH_results.json";
+        parse_args rest
+    | "--sha" :: v :: rest ->
+        sha := v;
+        parse_args rest
+    | _ :: rest -> parse_args rest
   in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let json_path = !json_path in
   Printf.printf "%-32s %13s\n" "benchmark" "time/run";
   Printf.printf "%s\n" (String.make 46 '-');
   let results =
@@ -308,5 +378,5 @@ let () =
   match json_path with
   | None -> ()
   | Some path ->
-      write_json path results;
+      write_json ~sha:!sha path results;
       Printf.printf "\nwrote %s\n" path

@@ -1,7 +1,10 @@
 #!/bin/sh
 # Build and run the benchmark suite, capturing machine-readable results
-# in BENCH_results.json (name -> ns/run) at the repository root.
+# in BENCH_results.json at the repository root.  The JSON carries a
+# meta block (git sha, domain count, parallelism, units) so numbers are
+# attributable to a tree state; results hold name -> ns/run.
 set -e
 cd "$(dirname "$0")/.."
+sha=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 dune build @bench
-exec dune exec bench/main.exe -- --json "$@"
+exec dune exec bench/main.exe -- --json --sha "$sha" "$@"

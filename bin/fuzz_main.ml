@@ -1,10 +1,12 @@
 (* Command-line driver for the fuzzing/cross-validation subsystem.
 
-   Runs [n] generated cases through all four oracles (round-trip,
-   planner equivalence, legacy/revised divergence classification,
-   result-graph well-formedness) and exits non-zero on any failure.
-   With [-corpus DIR], shrunk failures are appended as replayable
-   corpus entries.  Wired to the [@fuzz] dune alias. *)
+   Runs [n] generated cases through all five oracles (round-trip,
+   planner equivalence, parallel-vs-serial byte equivalence,
+   legacy/revised divergence classification, result-graph
+   well-formedness) and exits non-zero on any failure.  With
+   [-corpus DIR], shrunk failures are appended as replayable corpus
+   entries.  Wired to the [@fuzz] dune alias; [@par] runs the
+   parallel oracle alone over the pinned seeds. *)
 
 module Fuzz = Cypher_fuzz.Fuzz
 module Corpus = Cypher_fuzz.Corpus
@@ -27,8 +29,8 @@ let () =
         " print the generated cases without running the oracles" );
       ( "-oracle",
         Arg.Set_string oracle_only,
-        "NAME run only one oracle (roundtrip|planner|divergence|wellformed)"
-      );
+        "NAME run only one oracle \
+         (roundtrip|planner|parallel|divergence|wellformed)" );
     ]
   in
   Arg.parse spec
@@ -44,8 +46,9 @@ let () =
         (Cypher_ast.Pretty.query_to_string q)
     done;
     exit 0);
-  (if !oracle_only <> "" then
+  (if !oracle_only <> "" then (
      let module Oracles = Cypher_fuzz.Oracles in
+     let fails = ref 0 in
      for i = 0 to !count - 1 do
        let rng = Cypher_fuzz.Rng.make (!seed + i) in
        let g = Cypher_fuzz.Gen.graph rng in
@@ -54,6 +57,7 @@ let () =
          match !oracle_only with
          | "roundtrip" -> Result.map_error (fun e -> e) (Oracles.roundtrip q)
          | "planner" -> Oracles.planner_equivalence g q
+         | "parallel" -> Oracles.parallel_equivalence g q
          | "divergence" -> (
              match Oracles.divergence g q with
              | Oracles.Agree -> Ok ()
@@ -62,11 +66,16 @@ let () =
          | "wellformed" -> Oracles.wellformed g q
          | o -> raise (Arg.Bad ("unknown oracle " ^ o))
        in
-       (match outcome with
-       | Ok () -> Fmt.pr "seed %d: ok@." (!seed + i)
-       | Error d -> Fmt.pr "seed %d: FAIL %s@." (!seed + i) d);
+       match outcome with
+       | Ok () -> ()
+       | Error d ->
+           incr fails;
+           Fmt.pr "seed %d: FAIL %s@.statement: %s@." (!seed + i) d
+             (Cypher_ast.Pretty.query_to_string q)
      done;
-     exit 0);
+     Fmt.pr "oracle %s: %d cases from seed %d, %d failure(s)@." !oracle_only
+       !count !seed !fails;
+     exit (if !fails = 0 then 0 else 1)));
   let report = Fuzz.run ~seed:!seed ~count:!count () in
   Fmt.pr "%a@." Fuzz.pp_report report;
   match report.Fuzz.failures with

@@ -35,19 +35,40 @@ type t = {
   order : order;
   match_mode : match_mode;
   planner : planner;
+  parallelism : int;
   dialect : Cypher_ast.Validate.dialect;
   params : Value.t Smap.t;
 }
+
+(** Parses a [CYPHER_PARALLELISM]-style value: unset/empty/"0"/invalid
+    mean serial, "auto" means {!Cypher_util.Pool.recommended}, and a
+    positive integer is the fan-out width (the calling domain counts). *)
+let parallelism_of_string = function
+  | None | Some "" | Some "0" -> 0
+  | Some "auto" -> Cypher_util.Pool.recommended ()
+  | Some s -> (
+      match int_of_string_opt s with Some n when n > 0 -> n | _ -> 0)
+
+(** Process-wide default, read once from [CYPHER_PARALLELISM] at
+    startup: every stock configuration below starts from it, so
+    [CYPHER_PARALLELISM=4 dune exec ...] parallelises the read phases
+    without any code change.  Unset means serial — parallel-on is
+    byte-identical to parallel-off (see DESIGN.md), but spawning
+    domains for small inputs is a cost the caller should opt into. *)
+let default_parallelism =
+  parallelism_of_string (Sys.getenv_opt "CYPHER_PARALLELISM")
 
 (** Cypher 9 as shipped: legacy update semantics, Figure 2–5 grammar,
     naive matching (its order-sensitive behaviours stay reproducible). *)
 let cypher9 =
   { mode = Legacy; order = Forward; match_mode = Isomorphic; planner = Off;
+    parallelism = default_parallelism;
     dialect = Cypher_ast.Validate.Cypher9; params = Smap.empty }
 
 (** The paper's revised language: atomic semantics, Figure 10 grammar. *)
 let revised =
   { mode = Atomic; order = Forward; match_mode = Isomorphic; planner = On;
+    parallelism = default_parallelism;
     dialect = Cypher_ast.Validate.Revised; params = Smap.empty }
 
 (** Everything the parser accepts, atomic semantics: used to experiment
@@ -55,11 +76,13 @@ let revised =
     COLLAPSE). *)
 let permissive =
   { mode = Atomic; order = Forward; match_mode = Isomorphic; planner = On;
+    parallelism = default_parallelism;
     dialect = Cypher_ast.Validate.Permissive; params = Smap.empty }
 
 let with_order order t = { t with order }
 let with_match_mode match_mode t = { t with match_mode }
 let with_planner planner t = { t with planner }
+let with_parallelism parallelism t = { t with parallelism = max 0 parallelism }
 let with_params params t = { t with params }
 
 let with_param name v t = { t with params = Smap.add name v t.params }

@@ -33,9 +33,26 @@ type t = {
   order : order;
   match_mode : match_mode;
   planner : planner;
+  parallelism : int;
+      (** Read-phase fan-out width: [0] (or [1]) runs serially, [n >= 2]
+          chunks the driving table over at most [n] domains (the caller
+          included) for MATCH expansion, WHERE filtering,
+          UNWIND/projection row mapping and MERGE candidate
+          enumeration.  Update application always stays sequential, and
+          parallel output is byte-identical to serial output (see
+          DESIGN.md). *)
   dialect : Cypher_ast.Validate.dialect;
   params : Value.t Smap.t;
 }
+
+(** Parses a [CYPHER_PARALLELISM]-style value: unset/empty/"0"/invalid
+    mean serial, "auto" means {!Cypher_util.Pool.recommended}, a
+    positive integer is the fan-out width. *)
+val parallelism_of_string : string option -> int
+
+(** The process-wide default, read once from [CYPHER_PARALLELISM] at
+    startup; the baseline of every stock configuration below. *)
+val default_parallelism : int
 
 (** Cypher 9 as shipped: legacy update semantics, Figure 2–5 grammar. *)
 val cypher9 : t
@@ -51,6 +68,10 @@ val permissive : t
 val with_order : order -> t -> t
 val with_match_mode : match_mode -> t -> t
 val with_planner : planner -> t -> t
+
+(** [with_parallelism n t] sets the read-phase fan-out width (clamped
+    at 0). *)
+val with_parallelism : int -> t -> t
 val with_params : Value.t Smap.t -> t -> t
 val with_param : string -> Value.t -> t -> t
 

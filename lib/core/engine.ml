@@ -19,6 +19,12 @@ let ctx_of config graph row = Runtime.ctx config graph row
 (* Reading clauses                                                    *)
 (* ------------------------------------------------------------------ *)
 
+(* The per-row expansions of MATCH and UNWIND read only the immutable
+   input graph [g] — under the revised semantics a clause never sees its
+   own writes — so fanning the driving table out over the domain pool is
+   unobservable: the ordered gather reproduces the serial row order
+   exactly (DESIGN.md, "Parallel read phases"). *)
+
 let exec_match config (g, t) ~optional ~patterns ~where =
   let vars = List.concat_map pattern_vars patterns in
   let columns = Table.columns t @ vars in
@@ -40,7 +46,9 @@ let exec_match config (g, t) ~optional ~patterns ~where =
           row vars ]
     else matches
   in
-  (g, Table.concat_map columns expand t)
+  ( g,
+    Table.concat_map_par ~parallelism:(Runtime.parallelism_of config) columns
+      expand t )
 
 let exec_unwind config (g, t) ~source ~alias =
   let columns = Table.columns t @ [ alias ] in
@@ -50,7 +58,9 @@ let exec_unwind config (g, t) ~source ~alias =
     | Value.List l -> List.map (fun v -> Record.bind row alias v) l
     | v -> [ Record.bind row alias v ]
   in
-  (g, Table.concat_map columns expand t)
+  ( g,
+    Table.concat_map_par ~parallelism:(Runtime.parallelism_of config) columns
+      expand t )
 
 (* ------------------------------------------------------------------ *)
 (* Clause dispatch                                                    *)

@@ -218,9 +218,13 @@ let apply_set_atomic config g rows columns items =
     g
 
 let run_revised config (g0, t) ~mode ~patterns ~on_create ~on_match =
-  (* 1. split the table against the input graph *)
+  (* 1. split the table against the input graph.  Candidate enumeration
+     reads only the immutable [g0] snapshot, so it fans out over the
+     domain pool with ordered gather; everything from instantiation on
+     mutates the graph and stays strictly sequential. *)
   let outcomes =
-    List.map
+    Cypher_util.Pool.map_chunks
+      ~parallelism:(Runtime.parallelism_of config)
       (fun row ->
         match Matcher.match_patterns ~mode:(Runtime.match_mode_of config) ~planner:(Runtime.planner_on config) (ctx_of config g0 row) patterns with
         | [] -> `Fail row

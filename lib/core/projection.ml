@@ -71,9 +71,13 @@ let run config (g, t) (proj : projection) =
   | Some n -> Errors.eval_error "duplicate column name `%s` in projection" n
   | None -> ());
   let has_agg = List.exists (fun it -> expr_has_agg it.item_expr) items in
+  let parallelism = Runtime.parallelism_of config in
   let out_rows =
     if not has_agg then
-      List.map
+      (* per-row expression evaluation reads only the immutable input
+         graph: fan it out with ordered gather (byte-identical to the
+         serial map) *)
+      Cypher_util.Pool.map_chunks ~parallelism
         (fun row ->
           let ctx = Runtime.ctx config g row in
           let projected =
@@ -116,21 +120,24 @@ let run config (g, t) (proj : projection) =
         groups
     end
   in
-  (* DISTINCT *)
+  (* DISTINCT: first-occurrence order, membership in a balanced set
+     keyed on the projected record (same O(n log n) discipline as
+     Table.distinct) *)
   let out_rows =
     if not proj.proj_distinct then out_rows
     else
-      let rec dedup acc = function
+      let module Rset = Set.Make (struct
+        type t = Record.t
+
+        let compare = Record.compare
+      end) in
+      let rec dedup seen acc = function
         | [] -> List.rev acc
         | r :: rest ->
-            if
-              List.exists
-                (fun r' -> Record.compare r.projected r'.projected = 0)
-                acc
-            then dedup acc rest
-            else dedup (r :: acc) rest
+            if Rset.mem r.projected seen then dedup seen acc rest
+            else dedup (Rset.add r.projected seen) (r :: acc) rest
       in
-      dedup [] out_rows
+      dedup Rset.empty [] out_rows
   in
   (* ORDER BY *)
   let out_rows =
@@ -160,12 +167,13 @@ let run config (g, t) (proj : projection) =
     | None -> out_rows
     | Some e -> Cypher_util.Listx.take (eval_count config g e) out_rows
   in
-  (* WITH ... WHERE *)
+  (* WITH ... WHERE: a pure per-row predicate over the input graph —
+     filtered in parallel with ordered gather *)
   let out_rows =
     match proj.proj_where with
     | None -> out_rows
     | Some e ->
-        List.filter
+        Cypher_util.Pool.filter_chunks ~parallelism
           (fun r ->
             let ctx = Runtime.ctx config g r.projected in
             Cypher_graph.Tri.to_bool_where (Eval.eval_truth ctx e))

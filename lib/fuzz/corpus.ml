@@ -5,9 +5,10 @@
     statement under test.
 
     {v
-    // oracle: roundtrip | planner | divergence | wellformed | eval
+    // oracle: roundtrip | planner | parallel | divergence | wellformed | eval
     // index: A id                     (zero or more; property indexes)
     // graph: CREATE (:A {k: 1})       (zero or more; setup statements)
+    // match: homomorphic              ('parallel' oracle only; optional)
     // expect: eq=false                ('eval' oracle only)
     MATCH (n:A) RETURN n.k = 1 AS eq
     v}
@@ -30,6 +31,7 @@ open Cypher_ast.Ast
 type oracle =
   | Roundtrip
   | Planner
+  | Parallel
   | Divergence
   | Wellformed
   | Eval of string  (** expected canonical rendering of the result table *)
@@ -39,6 +41,8 @@ type entry = {
   oracle : oracle;
   indexes : (string * string) list;  (** (label, key) property indexes *)
   setup : string list;  (** statements building the input graph *)
+  homomorphic : bool;
+      (** run the oracle under homomorphic matching (parallel oracle) *)
   statement : string;
 }
 
@@ -73,6 +77,7 @@ let parse_entry ~name text : (entry, string) result =
   and indexes = ref []
   and setup = ref []
   and expect = ref None
+  and homomorphic = ref false
   and body = ref [] in
   List.iter
     (fun line ->
@@ -83,6 +88,7 @@ let parse_entry ~name text : (entry, string) result =
           | [ label; key ] -> indexes := !indexes @ [ (label, key) ]
           | _ -> ())
       | Some ("graph", v) -> setup := !setup @ [ v ]
+      | Some ("match", v) -> homomorphic := v = "homomorphic"
       | Some ("expect", v) -> expect := Some v
       | Some _ -> () (* unrecognised header: plain comment *)
       | None ->
@@ -93,17 +99,24 @@ let parse_entry ~name text : (entry, string) result =
   let statement = String.concat "\n" !body in
   if statement = "" then Error (name ^ ": no statement body")
   else
+    let entry oracle =
+      Ok
+        {
+          name;
+          oracle;
+          indexes = !indexes;
+          setup = !setup;
+          homomorphic = !homomorphic;
+          statement;
+        }
+    in
     match (!oracle, !expect) with
-    | Some "roundtrip", _ ->
-        Ok { name; oracle = Roundtrip; indexes = !indexes; setup = !setup; statement }
-    | Some "planner", _ ->
-        Ok { name; oracle = Planner; indexes = !indexes; setup = !setup; statement }
-    | Some "divergence", _ ->
-        Ok { name; oracle = Divergence; indexes = !indexes; setup = !setup; statement }
-    | Some "wellformed", _ ->
-        Ok { name; oracle = Wellformed; indexes = !indexes; setup = !setup; statement }
-    | Some "eval", Some expected ->
-        Ok { name; oracle = Eval expected; indexes = !indexes; setup = !setup; statement }
+    | Some "roundtrip", _ -> entry Roundtrip
+    | Some "planner", _ -> entry Planner
+    | Some "parallel", _ -> entry Parallel
+    | Some "divergence", _ -> entry Divergence
+    | Some "wellformed", _ -> entry Wellformed
+    | Some "eval", Some expected -> entry (Eval expected)
     | Some "eval", None -> Error (name ^ ": eval entry without // expect:")
     | Some o, _ -> Error (name ^ ": unknown oracle " ^ o)
     | None, _ -> Error (name ^ ": missing // oracle: header")
@@ -111,6 +124,7 @@ let parse_entry ~name text : (entry, string) result =
 let oracle_keyword = function
   | Roundtrip -> "roundtrip"
   | Planner -> "planner"
+  | Parallel -> "parallel"
   | Divergence -> "divergence"
   | Wellformed -> "wellformed"
   | Eval _ -> "eval"
@@ -122,6 +136,7 @@ let render_entry e =
     (fun (l, k) -> Buffer.add_string b (Printf.sprintf "// index: %s %s\n" l k))
     e.indexes;
   List.iter (fun s -> Buffer.add_string b ("// graph: " ^ s ^ "\n")) e.setup;
+  if e.homomorphic then Buffer.add_string b "// match: homomorphic\n";
   (match e.oracle with
   | Eval expected -> Buffer.add_string b ("// expect: " ^ expected ^ "\n")
   | _ -> ());
@@ -193,7 +208,8 @@ let graph_to_setup g =
 
 let entry_of_failure ~name ~oracle ~graph ~query =
   let indexes, setup = graph_to_setup graph in
-  { name; oracle; indexes; setup; statement = Pretty.query_to_string query }
+  { name; oracle; indexes; setup; homomorphic = false;
+    statement = Pretty.query_to_string query }
 
 (* ------------------------------------------------------------------ *)
 (* Checking                                                           *)
@@ -243,6 +259,11 @@ let check e : (unit, string) result =
   match e.oracle with
   | Roundtrip -> Oracles.roundtrip q
   | Planner -> Oracles.planner_equivalence g q
+  | Parallel ->
+      let match_mode =
+        if e.homomorphic then Config.Homomorphic else Config.Isomorphic
+      in
+      Oracles.parallel_equivalence ~match_mode g q
   | Wellformed -> Oracles.wellformed g q
   | Divergence -> (
       match Oracles.divergence g q with

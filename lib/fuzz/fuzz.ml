@@ -1,4 +1,4 @@
-(** The fuzzing driver: generate, run all four oracles, shrink failures.
+(** The fuzzing driver: generate, run all five oracles, shrink failures.
 
     One iteration derives a fresh splitmix64 stream from
     [seed + iteration], generates a (graph, statement) case and runs
@@ -20,7 +20,7 @@ type failure = {
 
 type report = {
   seed : int;
-  iterations : int;  (** cases run through each of the four oracles *)
+  iterations : int;  (** cases run through each of the five oracles *)
   agreements : int;  (** divergence-oracle runs where both regimes agree *)
   classified : (Oracles.category * int) list;  (** sanctioned divergences *)
   failures : failure list;  (** shrunk; empty on a clean run *)
@@ -55,6 +55,13 @@ let run ?(seed = 0) ~count () =
     | Error detail ->
         record ~oracle:"planner" ~iteration:i
           ~fails:(fun g q -> Result.is_error (Oracles.planner_equivalence g q))
+          g q detail);
+    (match Oracles.parallel_equivalence g q with
+    | Ok () -> ()
+    | Error detail ->
+        record ~oracle:"parallel" ~iteration:i
+          ~fails:(fun g q ->
+            Result.is_error (Oracles.parallel_equivalence g q))
           g q detail);
     (match Oracles.divergence g q with
     | Oracles.Agree -> incr agreements
@@ -94,7 +101,7 @@ let pp_failure ppf f =
     Graph.pp f.graph
 
 let pp_report ppf r =
-  Fmt.pf ppf "@[<v>fuzz: seed %d, %d cases x 4 oracles@," r.seed r.iterations;
+  Fmt.pf ppf "@[<v>fuzz: seed %d, %d cases x 5 oracles@," r.seed r.iterations;
   Fmt.pf ppf "divergence oracle: %d agree, %d sanctioned divergences@,"
     r.agreements
     (List.fold_left (fun acc (_, n) -> acc + n) 0 r.classified);

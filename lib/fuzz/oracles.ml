@@ -14,7 +14,13 @@
     4. {!wellformed}: after every successful update, the result graph
        must have no dangling relationship endpoints and all maintained
        secondary indexes (label, type, typed adjacency, property) must
-       agree with a from-scratch {!Graph.rebuild}. *)
+       agree with a from-scratch {!Graph.rebuild}.
+    5. {!parallel_equivalence}: parallelism-on vs parallelism-off
+       execution.  Unlike the planner oracle, which tolerates row-order
+       changes, the domain-pool fan-out performs an ordered gather, so
+       the two runs must be {e byte-identical} — same rendered result
+       table, same rendered graph, same error — not merely
+       bag-equivalent. *)
 
 open Cypher_ast.Ast
 open Cypher_util.Maps
@@ -122,7 +128,7 @@ let kind_name = function
 (* Configurations                                                     *)
 (* ------------------------------------------------------------------ *)
 
-(* All four oracles validate under Permissive: the generator emits the
+(* All five oracles validate under Permissive: the generator emits the
    full repertoire (MERGE ALL / SAME and, after rewriting, legacy
    MERGE), and the comparison must isolate *semantic* differences, not
    dialect gatekeeping. *)
@@ -195,6 +201,46 @@ let planner_equivalence g q : (unit, string) result =
         Error
           (Fmt.str "planner changed the result row set: %s vs %s"
              (outcome_summary o1) (outcome_summary o2))
+
+(* ------------------------------------------------------------------ *)
+(* Oracle 5: parallelism-on vs parallelism-off, byte-identical        *)
+(* ------------------------------------------------------------------ *)
+
+(** The parallel run must be indistinguishable from the serial one down
+    to the byte: the pool's ordered gather reproduces the serial row
+    order, update application is sequential in both runs (so entity ids
+    match exactly), and a failing statement must fail with the very same
+    error.  Chunking is forced down to single-element chunks so even the
+    small tables typical of generated cases actually fan out. *)
+let parallel_equivalence ?(match_mode = Config.Isomorphic) g q :
+    (unit, string) result =
+  let base = Config.with_match_mode match_mode Config.permissive in
+  let serial = run (Config.with_parallelism 0 base) g q in
+  let parallel =
+    Cypher_util.Pool.with_chunk_min 1 (fun () ->
+        run (Config.with_parallelism 4 base) g q)
+  in
+  match (serial, parallel) with
+  | Error e1, Error e2 ->
+      if Errors.to_string e1 = Errors.to_string e2 then Ok ()
+      else
+        Error
+          (Fmt.str "parallel error differs: serial %S vs parallel %S"
+             (Errors.to_string e1) (Errors.to_string e2))
+  | Ok _, Error e ->
+      Error (Fmt.str "parallel fails (%s) where serial succeeds"
+               (Errors.to_string e))
+  | Error e, Ok _ ->
+      Error (Fmt.str "serial fails (%s) where parallel succeeds"
+               (Errors.to_string e))
+  | Ok o1, Ok o2 ->
+      if Graph.to_string o1.graph <> Graph.to_string o2.graph then
+        Error "parallel and serial result graphs are not byte-identical"
+      else if Table.to_string o1.table <> Table.to_string o2.table then
+        Error
+          (Fmt.str "parallel and serial result tables differ: %s vs %s"
+             (outcome_summary o1) (outcome_summary o2))
+      else Ok ()
 
 (* ------------------------------------------------------------------ *)
 (* Oracle 3: legacy vs revised divergence classification              *)

@@ -471,16 +471,18 @@ let shortest_paths (ctx : Ctx.t) ~all (p : pattern) : Value.t =
               end)
             ()
       done;
-      (* all shortest walks as forward relationship-id lists *)
-      let rec walks_to node depth : Value.rel_id list list =
-        if depth = 0 then if node = src then [ [] ] else []
+      (* all shortest walks as forward relationship-id lists.  The walk
+         is threaded backwards from the target as an already-forward
+         [suffix] (each step conses the relationship traversed *after*
+         it), so no per-hop list copy: the old [walk @ [r_id]] append
+         made reconstruction quadratic in the walk length. *)
+      let rec walks_to node depth suffix : Value.rel_id list list =
+        if depth = 0 then if node = src then [ suffix ] else []
         else
           List.concat_map
             (fun ((r : Graph.rel), prev) ->
               if Hashtbl.find_opt level prev = Some (depth - 1) then
-                List.map
-                  (fun walk -> walk @ [ r.Graph.r_id ])
-                  (walks_to prev (depth - 1))
+                walks_to prev (depth - 1) (r.Graph.r_id :: suffix)
               else [])
             (match Hashtbl.find_opt preds node with Some l -> l | None -> [])
       in
@@ -490,7 +492,7 @@ let shortest_paths (ctx : Ctx.t) ~all (p : pattern) : Value.t =
           [ [] ]
         else
           match !found_depth with
-          | Some depth -> walks_to tgt depth
+          | Some depth -> walks_to tgt depth []
           | None -> []
       in
       let to_path rels =

@@ -53,6 +53,14 @@ let map f t = { t with rows = List.map f t.rows }
     column set must be supplied since expansion may bind new variables. *)
 let concat_map columns f t = make columns (List.concat_map f t.rows)
 
+(** [concat_map_par ~parallelism columns f t] is {!concat_map} with the
+    per-row expansion fanned out over a domain pool.  The gather is
+    ordered, so the result is byte-identical to the serial one whenever
+    [f] is pure — the caller's obligation (the engine only uses this for
+    read phases against an immutable graph snapshot). *)
+let concat_map_par ~parallelism columns f t =
+  make columns (Cypher_util.Pool.concat_map_chunks ~parallelism f t.rows)
+
 let filter p t = { t with rows = List.filter p t.rows }
 
 let fold f t acc = List.fold_left (fun acc r -> f r acc) acc t.rows
@@ -63,17 +71,24 @@ let bag_union t1 t2 =
   let columns = dedup_columns (t1.columns @ t2.columns) in
   make columns (t1.rows @ t2.rows)
 
+module Rset = Set.Make (struct
+  type t = Record.t
+
+  let compare = Record.compare
+end)
+
 (** Set union: bag union followed by duplicate elimination (UNION).
-    First-occurrence order of rows is preserved. *)
+    First-occurrence order of rows is preserved; membership is tracked
+    in a balanced set keyed by the record total order, so UNION over an
+    n-row table costs O(n log n) rather than O(n²). *)
 let distinct t =
-  let rec dedup acc = function
+  let rec dedup seen acc = function
     | [] -> List.rev acc
     | r :: rest ->
-        if List.exists (fun r' -> Record.compare r r' = 0) acc then
-          dedup acc rest
-        else dedup (r :: acc) rest
+        if Rset.mem r seen then dedup seen acc rest
+        else dedup (Rset.add r seen) (r :: acc) rest
   in
-  { t with rows = dedup [] t.rows }
+  { t with rows = dedup Rset.empty [] t.rows }
 
 let union t1 t2 = distinct (bag_union t1 t2)
 

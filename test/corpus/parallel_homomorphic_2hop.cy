@@ -1,0 +1,9 @@
+// Homomorphic matching drops relationship-uniqueness bookkeeping, so
+// a 2-hop pattern may reuse one relationship for both hops and the
+// embedding count differs from the isomorphic run.  The parallel
+// fan-out must agree with serial under this mode too — the used-rel
+// bookkeeping is per-embedding state, never shared across rows.
+// oracle: parallel
+// match: homomorphic
+// graph: CREATE (a:A {k: 1})-[:T]->(b:B {k: 2}), (b)-[:T]->(a), (b)-[:T]->(:B {k: 3})
+MATCH (x)-[:T]->(y)-[:T]->(z) RETURN x.k AS xk, y.k AS yk, z.k AS zk

@@ -1,0 +1,7 @@
+// OPTIONAL MATCH pads non-matching rows with nulls in place, so the
+// output interleaves expanded rows and padded rows.  Parallel chunk
+// boundaries must not disturb where the padded rows land: the gather
+// has to preserve the per-input-row positions exactly.
+// oracle: parallel
+// graph: CREATE (:A {k: 1})-[:T]->(:B {k: 10}), (:A {k: 2}), (:A {k: 3})-[:T]->(:B {k: 30})
+MATCH (a:A) OPTIONAL MATCH (a)-[:T]->(b:B) RETURN a.k AS ak, b.k AS bk

@@ -1,0 +1,7 @@
+// Undirected traversal of a self-loop: the matcher's trickiest row
+// expansion (the loop is reachable from both endpoints but a single
+// relationship may bind only once per embedding).  The chunked
+// fan-out must reproduce the serial embedding order byte for byte.
+// oracle: parallel
+// graph: CREATE (a:A {k: 1})-[:T]->(a), (a)-[:T]->(:B {k: 2}), (:A {k: 3})
+MATCH (x)-[r:T]-(y) RETURN x.k AS xk, y.k AS yk

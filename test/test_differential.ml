@@ -237,7 +237,46 @@ let planner_merge_checks =
             Merge_same ]);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Planner × parallelism 2×2 sweep                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Parallel read phases must be unobservable (DESIGN.md "Parallel read
+   phases"): for each planner setting, running with the domain pool
+   fanned out must produce byte-identical tables and graphs to the
+   serial run.  This is strictly stronger than the bag equality the
+   planner sweep above settles for — parallelism may not even reorder.
+   The chunk threshold is forced down to 1 so the small sweep tables
+   actually split across domains. *)
+module Pool = Cypher_util.Pool
+
+let parallelism_checks =
+  let settings =
+    [ ("planner-on", planner_on); ("planner-off", planner_off) ]
+  in
+  List.concat_map
+    (fun (label, cfg) ->
+      List.map
+        (fun src ->
+          Test_util.case
+            (Printf.sprintf "par=4 byte-identical to par=0 (%s): %s" label src)
+            (fun () ->
+              let serial_g, serial_t =
+                run_with (Config.with_parallelism 0 cfg) src
+              in
+              let par_g, par_t =
+                Pool.with_chunk_min 1 (fun () ->
+                    run_with (Config.with_parallelism 4 cfg) src)
+              in
+              Alcotest.(check string) "table bytes"
+                (Table.to_string serial_t) (Table.to_string par_t);
+              Alcotest.(check string) "graph bytes"
+                (Graph.to_string serial_g) (Graph.to_string par_g)))
+        (read_queries @ update_queries))
+    settings
+
 let suite =
   List.map QCheck_alcotest.to_alcotest tests
   @ figure_checks @ planner_checks
   @ List.map QCheck_alcotest.to_alcotest planner_merge_checks
+  @ parallelism_checks

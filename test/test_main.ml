@@ -8,6 +8,7 @@ let () =
       ("iso", Test_iso.suite);
       ("table", Test_table.suite);
       ("listx", Test_listx.suite);
+      ("pool", Test_pool.suite);
       ("lexer", Test_lexer.suite);
       ("parser", Test_parser.suite);
       ("pretty", Test_pretty.suite);

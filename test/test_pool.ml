@@ -1,0 +1,108 @@
+(** The domain pool behind parallel read phases ([Cypher_util.Pool]):
+    chunked fan-out with ordered, deterministic gather.
+
+    The pool's entire contract is byte-identical agreement with the
+    plain [List] functions — same elements, same order, same exception
+    when one is raised — so every test here checks against the serial
+    result, under adversarial chunk sizes that do not divide the input,
+    degenerate one-element chunks, and chunks larger than the input. *)
+
+module Pool = Cypher_util.Pool
+open Test_util
+
+let input = List.init 1000 (fun i -> i)
+
+(* chunk_min × parallelism grid: odd sizes that leave ragged final
+   chunks, chunk_min 1 (maximal fan-out), chunk_min 1000 (one chunk,
+   serial fast path), and more domains than the machine has cores *)
+let adversarial =
+  List.concat_map
+    (fun chunk_min -> List.map (fun p -> (chunk_min, p)) [ 2; 3; 4; 8 ])
+    [ 1; 2; 3; 5; 16; 1000 ]
+
+let suite =
+  [
+    case "map_chunks agrees with List.map under adversarial chunking"
+      (fun () ->
+        let expect = List.map (fun x -> x * x) input in
+        List.iter
+          (fun (chunk_min, parallelism) ->
+            Alcotest.(check (list int))
+              (Printf.sprintf "chunk_min=%d par=%d" chunk_min parallelism)
+              expect
+              (Pool.map_chunks ~chunk_min ~parallelism (fun x -> x * x) input))
+          adversarial);
+    case "concat_map_chunks preserves order and multiplicity" (fun () ->
+        (* per-row fan-out of variable width, including empty expansions *)
+        let f x = List.init (x mod 3) (fun j -> (x * 10) + j) in
+        let expect = List.concat_map f input in
+        List.iter
+          (fun (chunk_min, parallelism) ->
+            Alcotest.(check (list int))
+              (Printf.sprintf "chunk_min=%d par=%d" chunk_min parallelism)
+              expect
+              (Pool.concat_map_chunks ~chunk_min ~parallelism f input))
+          adversarial);
+    case "filter_chunks agrees with List.filter" (fun () ->
+        let p x = x mod 7 = 0 in
+        let expect = List.filter p input in
+        List.iter
+          (fun (chunk_min, parallelism) ->
+            Alcotest.(check (list int))
+              (Printf.sprintf "chunk_min=%d par=%d" chunk_min parallelism)
+              expect
+              (Pool.filter_chunks ~chunk_min ~parallelism p input))
+          adversarial);
+    case "worker exception is re-raised on the caller domain" (fun () ->
+        match
+          Pool.map_chunks ~chunk_min:1 ~parallelism:4
+            (fun x -> if x = 7 then failwith "boom" else x)
+            input
+        with
+        | _ -> Alcotest.fail "expected Failure"
+        | exception Failure msg -> Alcotest.(check string) "message" "boom" msg);
+    case "earliest failing chunk wins, deterministically" (fun () ->
+        (* rows 100 and 900 both fail, in different chunks; serial
+           evaluation raises on row 100 first, so the parallel run must
+           raise that same exception — every time, regardless of which
+           worker finishes first *)
+        for _ = 1 to 20 do
+          match
+            Pool.map_chunks ~chunk_min:1 ~parallelism:8
+              (fun x ->
+                if x = 100 || x = 900 then failwith (string_of_int x) else x)
+              input
+          with
+          | _ -> Alcotest.fail "expected Failure"
+          | exception Failure msg ->
+              Alcotest.(check string) "first failure" "100" msg
+        done);
+    case "empty input" (fun () ->
+        Alcotest.(check (list int)) "map" []
+          (Pool.map_chunks ~chunk_min:1 ~parallelism:4 (fun x -> x) []);
+        Alcotest.(check (list int)) "filter" []
+          (Pool.filter_chunks ~chunk_min:1 ~parallelism:4 (fun _ -> true) []));
+    case "single row" (fun () ->
+        Alcotest.(check (list int)) "map" [ 42 ]
+          (Pool.map_chunks ~chunk_min:1 ~parallelism:4 (fun x -> x * 2) [ 21 ]));
+    case "fewer rows than domains" (fun () ->
+        Alcotest.(check (list int)) "3 rows, 8 domains" [ 0; 1; 2 ]
+          (Pool.map_chunks ~chunk_min:1 ~parallelism:8 (fun x -> x) [ 0; 1; 2 ]));
+    case "parallelism 0 and 1 take the serial path" (fun () ->
+        let expect = List.map succ input in
+        Alcotest.(check (list int)) "par=0" expect
+          (Pool.map_chunks ~chunk_min:1 ~parallelism:0 succ input);
+        Alcotest.(check (list int)) "par=1" expect
+          (Pool.map_chunks ~chunk_min:1 ~parallelism:1 succ input));
+    case "with_chunk_min scopes the override and restores it" (fun () ->
+        let before = !Pool.default_chunk_min in
+        let inside = Pool.with_chunk_min 1 (fun () -> !Pool.default_chunk_min) in
+        Alcotest.(check int) "inside" 1 inside;
+        Alcotest.(check int) "restored" before !Pool.default_chunk_min;
+        (* restored on exception too *)
+        (try
+           Pool.with_chunk_min 2 (fun () -> failwith "escape")
+         with Failure _ -> ());
+        Alcotest.(check int) "restored after raise" before
+          !Pool.default_chunk_min);
+  ]

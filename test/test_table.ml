@@ -37,6 +37,21 @@ let suite =
         Alcotest.(check (list value_testable))
           "order" [ vint 2; vint 1 ]
           (column (Table.distinct t) "a"));
+    case "distinct on 10k rows is fast and order-preserving" (fun () ->
+        (* 10_000 rows over 100 distinct values: the old pairwise
+           O(n^2) dedup took seconds here; the keyed one is instant.
+           First occurrence of value v is at row v, so the output must
+           be 0..99 in order. *)
+        let t =
+          Table.make [ "a" ]
+            (List.init 10_000 (fun i -> r [ ("a", vint (i mod 100)) ]))
+        in
+        let d = Table.distinct t in
+        Alcotest.(check int) "100 distinct rows" 100 (Table.row_count d);
+        Alcotest.(check (list value_testable))
+          "first-occurrence order"
+          (List.init 100 (fun i -> vint i))
+          (column d "a"));
     case "projection keeps row count (bag semantics)" (fun () ->
         let t =
           Table.make [ "a"; "b" ]
