@@ -29,13 +29,20 @@ let parse_q src =
   | Ok q -> q
   | Error e -> failwith (Errors.to_string e)
 
-(* The baseline entries are pinned to the serial path so their numbers
-   stay comparable across runs regardless of CYPHER_PARALLELISM; the
-   parallel read-phase variants are recorded side by side under
-   .../par=N names. *)
-let cfg_cypher9 = Config.with_parallelism 0 Config.cypher9
-let cfg_revised = Config.with_parallelism 0 Config.revised
-let cfg_permissive = Config.with_parallelism 0 Config.permissive
+(* The baseline entries are pinned to the serial path — and to disabled
+   counter collection — so their numbers stay comparable across runs
+   regardless of CYPHER_PARALLELISM and across the introduction of the
+   observability layer (the pinned BENCH_results.json predates it); the
+   parallel read-phase and stats=on variants are recorded side by side
+   under .../par=N and .../stats=on names. *)
+let pin c = Config.with_stats false (Config.with_parallelism 0 c)
+let cfg_cypher9 = pin Config.cypher9
+let cfg_revised = pin Config.revised
+let cfg_permissive = pin Config.permissive
+
+(* enabled-collection variant: quantifies what the counters cost when
+   they are actually recorded *)
+let cfg_revised_stats = Config.with_stats true cfg_revised
 
 (* fan-out width of the par=N variants: CYPHER_PARALLELISM when it asks
    for actual parallelism, 4 otherwise *)
@@ -44,7 +51,8 @@ let par_level =
   | n when n >= 2 -> n
   | _ -> 4
 
-let cfg_revised_par = Config.with_parallelism par_level Config.revised
+let cfg_revised_par =
+  Config.with_stats false (Config.with_parallelism par_level Config.revised)
 
 let run_q config g q =
   match Api.run_query ~config g q with
@@ -205,6 +213,16 @@ let tests =
         Sys.opaque_identity (run_q cfg_cypher9 market100 q_delete));
     t "delete/atomic/detach" (fun () ->
         Sys.opaque_identity (run_q cfg_revised market100 q_delete));
+    (* stats/* : the same update workloads with counter collection
+       enabled — the marginal cost of recording and finalizing *)
+    t "set/atomic/100/stats=on" (fun () ->
+        Sys.opaque_identity (run_q cfg_revised_stats set_graph q_set));
+    t "create/100-paths/stats=on" (fun () ->
+        Sys.opaque_identity
+          (run_q cfg_revised_stats Graph.empty
+             (parse_q "UNWIND range(1, 100) AS x CREATE (:A {v: x})-[:T]->(:B)")));
+    t "delete/atomic/detach/stats=on" (fun () ->
+        Sys.opaque_identity (run_q cfg_revised_stats market100 q_delete));
     (* merge/<variant> on the Example-5 import workload *)
     t "merge/legacy/100" (legacy_merge orders100);
     t "merge/all/100" (merge_graph Merge_all orders100);
@@ -341,8 +359,105 @@ let write_json ~sha path results =
   output_string oc "}\n";
   close_out oc
 
+(* ------------------------------------------------------------------ *)
+(* --check-overhead: disabled-stats regression gate                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Reads the ["results"] section of a pinned BENCH_results.json.
+    Hand-rolled line scan — the file is written by {!write_json}, one
+    ["name": number] pair per line. *)
+let load_pinned path =
+  let ic = open_in path in
+  let tbl = Hashtbl.create 64 in
+  (try
+     while true do
+       let line = input_line ic in
+       match String.index_opt line '"' with
+       | None -> ()
+       | Some i -> (
+           match String.index_from_opt line (i + 1) '"' with
+           | None -> ()
+           | Some j -> (
+               let name = String.sub line (i + 1) (j - i - 1) in
+               let rest =
+                 String.sub line (j + 1) (String.length line - j - 1)
+               in
+               try Scanf.sscanf rest ": %f" (fun v -> Hashtbl.replace tbl name v)
+               with Scanf.Scan_failure _ | Failure _ | End_of_file -> ()))
+     done
+   with End_of_file -> ());
+  close_in ic;
+  tbl
+
+(* the update-path entries: every one runs through the stats-threaded
+   code with collection disabled, so their ratio against the pinned
+   pre-observability numbers is the disabled-collector overhead *)
+let overhead_subset =
+  [
+    "set/legacy/100";
+    "set/atomic/100";
+    "delete/legacy/detach";
+    "delete/atomic/detach";
+    "create/100-paths";
+    "merge/all/100";
+    "endtoend/session/n=100";
+  ]
+
+(** Re-times the update benches (stats collection disabled, as the
+    baseline entries always are) and compares against the pinned
+    numbers.  Passes when the geometric-mean slowdown is under
+    [threshold]; individual entries are reported but not gated (single
+    benches wobble more than the mean). *)
+let check_overhead ~threshold pinned_path =
+  let pinned = load_pinned pinned_path in
+  Printf.printf "disabled-stats overhead vs %s (gate: geomean < %+.1f%%)\n\n"
+    pinned_path ((threshold -. 1.) *. 100.);
+  Printf.printf "%-28s %13s %13s %8s\n" "benchmark" "pinned" "now" "ratio";
+  Printf.printf "%s\n" (String.make 66 '-');
+  let ratios =
+    List.filter_map
+      (fun name ->
+        let test =
+          List.find_opt (fun test -> Test.name test = name) tests
+        in
+        match (test, Hashtbl.find_opt pinned name) with
+        | None, _ | _, None ->
+            Printf.printf "%-28s %13s\n" name "(no baseline)";
+            None
+        | Some test, Some base -> (
+            match run_test test with
+            | [ (_, Some now) ] ->
+                let r = now /. base in
+                Printf.printf "%-28s %13s %13s %7.3fx\n%!" name
+                  (pretty_time base) (pretty_time now) r;
+                Some r
+            | _ ->
+                Printf.printf "%-28s %13s\n" name "(no estimate)";
+                None))
+      overhead_subset
+  in
+  if ratios = [] then (
+    Printf.printf "\nno comparable entries; cannot gate\n";
+    exit 1);
+  let geomean =
+    exp
+      (List.fold_left (fun acc r -> acc +. log r) 0. ratios
+      /. float_of_int (List.length ratios))
+  in
+  Printf.printf "\ngeomean ratio: %.3fx (%+.1f%%)\n" geomean
+    ((geomean -. 1.) *. 100.);
+  if geomean < threshold then (
+    Printf.printf "OK: disabled stats collection within the %.0f%% budget\n"
+      ((threshold -. 1.) *. 100.);
+    exit 0)
+  else (
+    Printf.printf "FAIL: disabled stats collection exceeds the %.0f%% budget\n"
+      ((threshold -. 1.) *. 100.);
+    exit 1)
+
 let () =
   let json_path = ref None and sha = ref "unknown" in
+  let overhead = ref None in
   let rec parse_args = function
     | [] -> ()
     | "--json" :: path :: rest when String.length path >= 2
@@ -355,9 +470,19 @@ let () =
     | "--sha" :: v :: rest ->
         sha := v;
         parse_args rest
+    | "--check-overhead" :: path :: rest when String.length path >= 2
+                                              && String.sub path 0 2 <> "--" ->
+        overhead := Some path;
+        parse_args rest
+    | "--check-overhead" :: rest ->
+        overhead := Some "BENCH_results.json";
+        parse_args rest
     | _ :: rest -> parse_args rest
   in
   parse_args (List.tl (Array.to_list Sys.argv));
+  (match !overhead with
+  | Some path -> check_overhead ~threshold:1.02 path
+  | None -> ());
   let json_path = !json_path in
   Printf.printf "%-32s %13s\n" "benchmark" "time/run";
   Printf.printf "%s\n" (String.make 46 '-');

@@ -11,6 +11,7 @@
       :quit                 exit
       :graph                print the current graph
       :stats                node/relationship counts
+      :stats on|off         toggle the per-statement counters footer
       :clear                reset to the empty graph
       :dot FILE             write the graph as Graphviz DOT
       :save FILE            write the graph as a Cypher dump
@@ -23,7 +24,7 @@
 open Cypher_graph
 open Cypher_core
 
-type state = { session : Session.t }
+type state = { session : Session.t; mutable show_stats : bool }
 
 let print_table t =
   if Cypher_table.Table.columns t = [] then
@@ -31,24 +32,35 @@ let print_table t =
   else Fmt.pr "%a@.(%d row(s))@." Cypher_table.Table.pp t
          (Cypher_table.Table.row_count t)
 
+let print_result st (r : Api.result) =
+  (match r.Api.r_plan with Some plan -> Fmt.pr "%s@." plan | None -> ());
+  (match r.Api.r_profile with
+  | Some entries -> Fmt.pr "%a@." Stats.pp_profile entries
+  | None -> ());
+  (* EXPLAIN produces no table worth printing *)
+  if r.Api.r_profile <> None || r.Api.r_plan = None then
+    print_table r.Api.r_table;
+  if st.show_stats && Stats.contains_updates r.Api.r_stats then
+    Fmt.pr "%s@." (Stats.footer r.Api.r_stats)
+
 let run_statement st src =
   (match Session.run st.session src with
-  | Ok table -> print_table table
+  | Ok r -> print_result st r
   | Error e -> Fmt.epr "error: %s@." (Errors.to_string e));
   st
 
 let run_script st src =
-  match Cypher_parser.Parser.parse_program src with
+  match Cypher_parser.Parser.parse_statements src with
   | Error e ->
       Fmt.epr "error: %s@." (Cypher_parser.Parser.error_to_string e);
       st
-  | Ok queries ->
+  | Ok statements ->
       List.iter
-        (fun q ->
-          match Session.run_query st.session q with
-          | Ok table -> print_table table
+        (fun (prefix, q) ->
+          match Session.run_query ~prefix st.session q with
+          | Ok r -> print_result st r
           | Error e -> Fmt.epr "error: %s@." (Errors.to_string e))
-        queries;
+        statements;
       st
 
 let load_file st path =
@@ -76,9 +88,10 @@ let order_of_string s =
       else None
 
 let help_text =
-  ":help :quit :graph :stats :clear :dot FILE :save FILE :load FILE \
+  ":help :quit :graph :stats [on|off] :clear :dot FILE :save FILE :load FILE \
    :begin :commit :rollback :semantics legacy|revised|permissive :order \
-   forward|reverse|seed:N"
+   forward|reverse|seed:N — prefix a statement with EXPLAIN or PROFILE \
+   to see its plan"
 
 let handle_command st line =
   match String.split_on_char ' ' (String.trim line) with
@@ -105,6 +118,10 @@ let handle_command st line =
       List.iter
         (fun (ty, n) -> Fmt.pr "  -[:%s]- %d@." ty n)
         (Graph.type_histogram g);
+      Some st
+  | [ ":stats"; ("on" | "off") as v ] ->
+      st.show_stats <- v = "on";
+      Fmt.pr "statement counters footer: %s@." v;
       Some st
   | [ ":clear" ] ->
       Session.reset st.session;
@@ -222,7 +239,10 @@ let main semantics order file interactive =
       1
   | Some config, Some ord ->
       let st =
-        { session = Session.create ~config:(Config.with_order ord config) Graph.empty }
+        {
+          session = Session.create ~config:(Config.with_order ord config) Graph.empty;
+          show_stats = true;
+        }
       in
       let st = match file with None -> st | Some f -> load_file st f in
       if file = None || interactive then repl st;

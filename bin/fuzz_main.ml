@@ -1,9 +1,10 @@
 (* Command-line driver for the fuzzing/cross-validation subsystem.
 
-   Runs [n] generated cases through all five oracles (round-trip,
+   Runs [n] generated cases through all six oracles (round-trip,
    planner equivalence, parallel-vs-serial byte equivalence,
    legacy/revised divergence classification, result-graph
-   well-formedness) and exits non-zero on any failure.  With
+   well-formedness, update counters vs graph diff) and exits non-zero
+   on any failure.  With
    [-corpus DIR], shrunk failures are appended as replayable corpus
    entries.  Wired to the [@fuzz] dune alias; [@par] runs the
    parallel oracle alone over the pinned seeds. *)
@@ -30,7 +31,7 @@ let () =
       ( "-oracle",
         Arg.Set_string oracle_only,
         "NAME run only one oracle \
-         (roundtrip|planner|parallel|divergence|wellformed)" );
+         (roundtrip|planner|parallel|divergence|wellformed|counters)" );
     ]
   in
   Arg.parse spec
@@ -64,6 +65,7 @@ let () =
              | Oracles.Classified c -> Ok (ignore (Oracles.category_name c))
              | Oracles.Unclassified d -> Error d)
          | "wellformed" -> Oracles.wellformed g q
+         | "counters" -> Oracles.counters g q
          | o -> raise (Arg.Bad ("unknown oracle " ^ o))
        in
        match outcome with
@@ -89,6 +91,7 @@ let () =
               | "roundtrip" -> Corpus.Roundtrip
               | "planner" -> Corpus.Planner
               | "divergence" -> Corpus.Divergence
+              | "counters" -> Corpus.Counters
               | _ -> Corpus.Wellformed
             in
             let name =

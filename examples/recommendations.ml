@@ -18,9 +18,11 @@ let banner title = Fmt.pr "@.=== %s ===@." title
 let run session src =
   Fmt.pr "@.> %s@." src;
   match Session.run session src with
-  | Ok t ->
-      Fmt.pr "%a@." Cypher_table.Table.pp t;
-      t
+  | Ok r ->
+      Fmt.pr "%a@." Cypher_table.Table.pp r.Api.r_table;
+      if Stats.contains_updates r.Api.r_stats then
+        Fmt.pr "%s@." (Stats.footer r.Api.r_stats);
+      r.Api.r_table
   | Error e -> failwith (Errors.to_string e)
 
 let () =

@@ -73,11 +73,39 @@ let check_update_pattern ~clause ~directed (p : pattern) =
 (* Clause-level checks                                                *)
 (* ------------------------------------------------------------------ *)
 
-let rec check_clause dialect = function
+(** The variables a clause brings into scope, folded over a clause
+    sequence.  Only boundness is tracked (enough for the FOREACH
+    shadowing check): patterns and UNWIND add their variables, a
+    projection without [*] resets the scope to its output columns. *)
+let scope_after scope = function
+  | Match { patterns; _ } | Create patterns | Merge { patterns; _ } ->
+      List.concat_map pattern_vars patterns @ scope
+  | Unwind { alias; _ } -> alias :: scope
+  | With proj | Return proj ->
+      let aliases =
+        List.filter_map
+          (fun it ->
+            match it.item_alias with
+            | Some a -> Some a
+            | None -> ( match it.item_expr with Var v -> Some v | _ -> None))
+          proj.proj_items
+      in
+      if proj.proj_star then aliases @ scope else aliases
+  | Set _ | Remove _ | Delete _ | Foreach _ -> scope
+
+let rec check_clause dialect ~scope = function
   | Create ps ->
       iter_result (check_update_pattern ~clause:"CREATE" ~directed:true) ps
   | Merge { mode; patterns; _ } -> check_merge dialect mode patterns
-  | Foreach { fe_body; _ } ->
+  | Foreach { fe_var; fe_body; _ } ->
+      (* the loop variable must be fresh: openCypher rejects shadowing
+         an in-scope variable ("variable already declared"), and the
+         engine would otherwise silently rebind it inside the body *)
+      let* () =
+        if List.mem fe_var scope then
+          err "FOREACH: variable `%s` already declared" fe_var
+        else Ok ()
+      in
       let* () =
         iter_result
           (fun c ->
@@ -85,9 +113,16 @@ let rec check_clause dialect = function
             else err "FOREACH body may contain only update clauses")
           fe_body
       in
-      iter_result (check_clause dialect) fe_body
+      check_body dialect ~scope:(fe_var :: scope) fe_body
   | Match _ | Unwind _ | With _ | Return _ | Set _ | Remove _ | Delete _ ->
       Ok ()
+
+(** Checks a clause sequence, threading the scope left to right. *)
+and check_body dialect ~scope = function
+  | [] -> Ok ()
+  | c :: rest ->
+      let* () = check_clause dialect ~scope c in
+      check_body dialect ~scope:(scope_after scope c) rest
 
 and check_merge dialect mode patterns =
   match (dialect, mode) with
@@ -170,7 +205,7 @@ let rec check_query dialect (q : query) =
     | Cypher9 -> check_sequence_cypher9 q.clauses
     | Revised | Permissive -> check_sequence_free q.clauses
   in
-  let* () = iter_result (check_clause dialect) q.clauses in
+  let* () = check_body dialect ~scope:[] q.clauses in
   match q.union with None -> Ok () | Some (_, q') -> check_query dialect q'
 
 let validate dialect q =

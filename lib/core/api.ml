@@ -12,6 +12,14 @@ module Validate = Cypher_ast.Validate
 
 type outcome = { graph : Graph.t; table : Table.t }
 
+type result = {
+  r_graph : Graph.t;
+  r_table : Table.t;
+  r_stats : Stats.t;
+  r_plan : string option;  (** rendered under EXPLAIN / PROFILE *)
+  r_profile : Stats.profile_entry list option;  (** PROFILE only *)
+}
+
 let wrap_errors f =
   try Ok (f ()) with
   | Errors.Error e -> Error e
@@ -27,17 +35,70 @@ let parse ?(dialect = Validate.Revised) src =
       | Error m -> Error (Errors.Validation_error m)
       | Ok q -> Ok q)
 
-(** [run_query ~config graph q] validates [q] against the configured
-    dialect and executes it, returning the updated graph and the output
-    table. *)
-let run_query ?(config = Config.revised) graph (q : Cypher_ast.Ast.query) :
-    (outcome, Errors.t) result =
+(** [run_query_full ~config ~prefix graph q] validates [q] against the
+    configured dialect and executes it under the given statement prefix.
+    [EXPLAIN] renders the plan and does not run the statement (the input
+    graph comes back unchanged, with an empty table); [PROFILE] runs it
+    and additionally reports per-clause row counts and wall-time. *)
+let run_query_full ?(config = Config.revised) ?(prefix = Parser.Plain) graph
+    (q : Cypher_ast.Ast.query) : (result, Errors.t) Stdlib.result =
   match Validate.validate config.Config.dialect q with
   | Error m -> Error (Errors.Validation_error m)
   | Ok q ->
       wrap_errors (fun () ->
-          let graph, table = Engine.output config graph q in
-          { graph; table })
+          match prefix with
+          | Parser.Explain ->
+              {
+                r_graph = graph;
+                r_table = Table.unit;
+                r_stats = Stats.empty;
+                r_plan = Some (Explain.render config graph q);
+                r_profile = None;
+              }
+          | Parser.Plain | Parser.Profile ->
+              let stats =
+                if config.Config.collect_stats then Stats.make ()
+                else Stats.null
+              in
+              let profile =
+                match prefix with
+                | Parser.Profile -> Some (ref [])
+                | _ -> None
+              in
+              let plan =
+                match prefix with
+                | Parser.Profile ->
+                    Some (Explain.render ~profiled:true config graph q)
+                | _ -> None
+              in
+              let graph', table = Engine.output ~stats ?profile config graph q in
+              {
+                r_graph = graph';
+                r_table = table;
+                r_stats = Stats.finalize stats graph';
+                r_plan = plan;
+                r_profile =
+                  Option.map (fun acc -> List.rev !acc) profile;
+              })
+
+(** [run_query ~config graph q] validates [q] against the configured
+    dialect and executes it, returning the updated graph and the output
+    table. *)
+let run_query ?config graph (q : Cypher_ast.Ast.query) :
+    (outcome, Errors.t) Stdlib.result =
+  match run_query_full ?config graph q with
+  | Error e -> Error e
+  | Ok r -> Ok { graph = r.r_graph; table = r.r_table }
+
+(** [run_string_full ~config graph src] parses (recognising an optional
+    EXPLAIN / PROFILE prefix), validates and executes one statement. *)
+let run_string_full ?(config = Config.revised) graph src =
+  match Parser.parse_statement src with
+  | Error e -> Error (Errors.Parse_error (Parser.error_to_string e))
+  | Ok (prefix, q) -> (
+      match Validate.validate config.Config.dialect q with
+      | Error m -> Error (Errors.Validation_error m)
+      | Ok q -> run_query_full ~config ~prefix graph q)
 
 (** [run_string ~config graph src] parses, validates and executes one
     statement. *)
@@ -51,7 +112,7 @@ let run_string ?(config = Config.revised) graph src =
     output table of every statement.  Execution stops at the first
     error. *)
 let run_program ?(config = Config.revised) graph src :
-    (Graph.t * Table.t list, Errors.t) result =
+    (Graph.t * Table.t list, Errors.t) Stdlib.result =
   match Parser.parse_program src with
   | Error e -> Error (Errors.Parse_error (Parser.error_to_string e))
   | Ok queries ->
@@ -65,8 +126,10 @@ let run_program ?(config = Config.revised) graph src :
       loop graph [] queries
 
 (** Convenience: [run_exn] for tests and examples that treat errors as
-    fatal. *)
+    fatal.  Raises {!Errors.Error} so callers keep the structured error
+    (the printer registered in {!Errors} renders it readably if it
+    escapes to top level) rather than a flattened [Failure] string. *)
 let run_exn ?config graph src =
   match run_string ?config graph src with
   | Ok outcome -> outcome
-  | Error e -> failwith (Errors.to_string e)
+  | Error e -> Errors.fail e

@@ -10,24 +10,52 @@ open Cypher_table
 
 type outcome = { graph : Graph.t; table : Table.t }
 
+(** The full observable outcome of one statement: graph, table, update
+    counters, and — under an EXPLAIN / PROFILE prefix — the rendered
+    plan and the per-clause profile. *)
+type result = {
+  r_graph : Graph.t;
+  r_table : Table.t;
+  r_stats : Stats.t;
+  r_plan : string option;  (** rendered under EXPLAIN / PROFILE *)
+  r_profile : Stats.profile_entry list option;  (** PROFILE only *)
+}
+
 (** [parse ~dialect src] parses and validates one statement.  The
     dialect defaults to the revised grammar (Figure 10). *)
 val parse :
   ?dialect:Cypher_ast.Validate.dialect ->
   string ->
-  (Cypher_ast.Ast.query, Errors.t) result
+  (Cypher_ast.Ast.query, Errors.t) Stdlib.result
 
 (** [run_query ~config graph q] validates [q] against the configured
     dialect and executes it, returning the updated graph and the output
     table.  The configuration defaults to {!Config.revised}. *)
 val run_query :
   ?config:Config.t -> Graph.t -> Cypher_ast.Ast.query ->
-  (outcome, Errors.t) result
+  (outcome, Errors.t) Stdlib.result
+
+(** [run_query_full ~config ~prefix graph q] executes [q] under a
+    statement prefix: [Explain] renders the plan without running the
+    statement (input graph unchanged, unit table); [Profile] runs it and
+    reports per-clause row counts and monotonic wall-time alongside the
+    plan; [Plain] (the default) just collects counters (when
+    [config.collect_stats] is set, the default). *)
+val run_query_full :
+  ?config:Config.t ->
+  ?prefix:Cypher_parser.Parser.prefix ->
+  Graph.t -> Cypher_ast.Ast.query -> (result, Errors.t) Stdlib.result
 
 (** [run_string ~config graph src] parses, validates and executes one
     statement. *)
 val run_string :
-  ?config:Config.t -> Graph.t -> string -> (outcome, Errors.t) result
+  ?config:Config.t -> Graph.t -> string -> (outcome, Errors.t) Stdlib.result
+
+(** [run_string_full ~config graph src] parses one statement —
+    recognising an optional [EXPLAIN] / [PROFILE] prefix — validates and
+    executes it. *)
+val run_string_full :
+  ?config:Config.t -> Graph.t -> string -> (result, Errors.t) Stdlib.result
 
 (** [run_program ~config graph src] executes a [;]-separated sequence of
     statements, threading the graph; returns the final graph and the
@@ -35,8 +63,9 @@ val run_string :
     error. *)
 val run_program :
   ?config:Config.t -> Graph.t -> string ->
-  (Graph.t * Table.t list, Errors.t) result
+  (Graph.t * Table.t list, Errors.t) Stdlib.result
 
 (** Convenience for tests and examples that treat errors as fatal.
-    @raise Failure on any error. *)
+    @raise Errors.Error on any error (the structured error is
+    preserved, not flattened to a string). *)
 val run_exn : ?config:Config.t -> Graph.t -> string -> outcome

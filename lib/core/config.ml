@@ -36,6 +36,10 @@ type t = {
   match_mode : match_mode;
   planner : planner;
   parallelism : int;
+  collect_stats : bool;
+      (** collect per-statement update counters ({!Stats}); on by
+          default — the disabled path exists for benchmarking the
+          collection overhead away *)
   dialect : Cypher_ast.Validate.dialect;
   params : Value.t Smap.t;
 }
@@ -62,13 +66,13 @@ let default_parallelism =
     naive matching (its order-sensitive behaviours stay reproducible). *)
 let cypher9 =
   { mode = Legacy; order = Forward; match_mode = Isomorphic; planner = Off;
-    parallelism = default_parallelism;
+    parallelism = default_parallelism; collect_stats = true;
     dialect = Cypher_ast.Validate.Cypher9; params = Smap.empty }
 
 (** The paper's revised language: atomic semantics, Figure 10 grammar. *)
 let revised =
   { mode = Atomic; order = Forward; match_mode = Isomorphic; planner = On;
-    parallelism = default_parallelism;
+    parallelism = default_parallelism; collect_stats = true;
     dialect = Cypher_ast.Validate.Revised; params = Smap.empty }
 
 (** Everything the parser accepts, atomic semantics: used to experiment
@@ -76,13 +80,14 @@ let revised =
     COLLAPSE). *)
 let permissive =
   { mode = Atomic; order = Forward; match_mode = Isomorphic; planner = On;
-    parallelism = default_parallelism;
+    parallelism = default_parallelism; collect_stats = true;
     dialect = Cypher_ast.Validate.Permissive; params = Smap.empty }
 
 let with_order order t = { t with order }
 let with_match_mode match_mode t = { t with match_mode }
 let with_planner planner t = { t with planner }
 let with_parallelism parallelism t = { t with parallelism = max 0 parallelism }
+let with_stats collect_stats t = { t with collect_stats }
 let with_params params t = { t with params }
 
 let with_param name v t = { t with params = Smap.add name v t.params }

@@ -41,6 +41,10 @@ type t = {
           enumeration.  Update application always stays sequential, and
           parallel output is byte-identical to serial output (see
           DESIGN.md). *)
+  collect_stats : bool;
+      (** Collect per-statement update counters ({!Stats}); on by
+          default.  The disabled path exists so the collection overhead
+          itself can be benchmarked away. *)
   dialect : Cypher_ast.Validate.dialect;
   params : Value.t Smap.t;
 }
@@ -72,6 +76,9 @@ val with_planner : planner -> t -> t
 (** [with_parallelism n t] sets the read-phase fan-out width (clamped
     at 0). *)
 val with_parallelism : int -> t -> t
+
+(** [with_stats b t] toggles update-counter collection. *)
+val with_stats : bool -> t -> t
 val with_params : Value.t Smap.t -> t -> t
 val with_param : string -> Value.t -> t -> t
 

@@ -15,8 +15,12 @@ open Cypher_ast.Ast
 (** [create_row config g row patterns] instantiates the pattern tuple
     once, for a single record; used by legacy MERGE's create branch. *)
 val create_row :
-  Config.t -> Graph.t -> Record.t -> pattern list -> Graph.t * Record.t
+  Config.t ->
+  stats:Stats.collector ->
+  Graph.t -> Record.t -> pattern list -> Graph.t * Record.t
 
 (** [run config (g, t) patterns] is [[CREATE π]](G, T). *)
 val run :
-  Config.t -> Graph.t * Table.t -> pattern list -> Graph.t * Table.t
+  Config.t ->
+  stats:Stats.collector ->
+  Graph.t * Table.t -> pattern list -> Graph.t * Table.t

@@ -16,5 +16,7 @@ open Cypher_graph
 open Cypher_table
 
 val run :
-  Config.t -> Graph.t * Table.t -> detach:bool -> Cypher_ast.Ast.expr list ->
+  Config.t ->
+  stats:Stats.collector ->
+  Graph.t * Table.t -> detach:bool -> Cypher_ast.Ast.expr list ->
   Graph.t * Table.t

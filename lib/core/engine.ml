@@ -56,7 +56,11 @@ let exec_unwind config (g, t) ~source ~alias =
     match Eval.eval (ctx_of config g row) source with
     | Value.Null -> []
     | Value.List l -> List.map (fun v -> Record.bind row alias v) l
-    | v -> [ Record.bind row alias v ]
+    | v ->
+        (* UNWIND is defined on lists (and NULL, which contributes no
+           rows); anything else is a type error, not a singleton list *)
+        Errors.eval_error "Type mismatch: expected List, got %s"
+          (Value.to_string v)
   in
   ( g,
     Table.concat_map_par ~parallelism:(Runtime.parallelism_of config) columns
@@ -66,26 +70,27 @@ let exec_unwind config (g, t) ~source ~alias =
 (* Clause dispatch                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let rec exec_clause config (g, t) (c : clause) =
+let rec exec_clause config ~stats (g, t) (c : clause) =
   match c with
   | Match { optional; patterns; where } ->
       exec_match config (g, t) ~optional ~patterns ~where
   | Unwind { source; alias } -> exec_unwind config (g, t) ~source ~alias
   | With proj | Return proj -> Projection.run config (g, t) proj
-  | Create patterns -> Create.run config (g, t) patterns
-  | Set items -> Set_clause.run config (g, t) items
-  | Remove items -> Remove_clause.run config (g, t) items
-  | Delete { detach; targets } -> Delete_clause.run config (g, t) ~detach targets
+  | Create patterns -> Create.run config ~stats (g, t) patterns
+  | Set items -> Set_clause.run config ~stats (g, t) items
+  | Remove items -> Remove_clause.run config ~stats (g, t) items
+  | Delete { detach; targets } ->
+      Delete_clause.run config ~stats (g, t) ~detach targets
   | Merge { mode; patterns; on_create; on_match } ->
-      Merge.run config (g, t) ~mode ~patterns ~on_create ~on_match
+      Merge.run config ~stats (g, t) ~mode ~patterns ~on_create ~on_match
   | Foreach { fe_var; fe_source; fe_body } ->
-      exec_foreach config (g, t) ~fe_var ~fe_source ~fe_body
+      exec_foreach config ~stats (g, t) ~fe_var ~fe_source ~fe_body
 
 (** FOREACH: for each record and each element of the list, the body
     update clauses run on a one-record table binding the loop variable.
     The driving table itself is unchanged (the loop variable does not
     leak).  The body clauses follow the configured regime. *)
-and exec_foreach config (g, t) ~fe_var ~fe_source ~fe_body =
+and exec_foreach config ~stats (g, t) ~fe_var ~fe_source ~fe_body =
   let g =
     Table.fold
       (fun row g ->
@@ -102,7 +107,7 @@ and exec_foreach config (g, t) ~fe_var ~fe_source ~fe_body =
                 in
                 let g, _ =
                   List.fold_left
-                    (fun (g, t) c -> exec_clause config (g, t) c)
+                    (fun (g, t) c -> exec_clause config ~stats (g, t) c)
                     (g, inner) fe_body
                 in
                 g)
@@ -122,12 +127,36 @@ and exec_foreach config (g, t) ~fe_var ~fe_source ~fe_body =
     left-to-right, each on the unit table against the graph produced by
     the previous branch; their output tables are combined by bag union
     (UNION ALL) or set union (UNION), as in Section 8.2. *)
-let rec exec_query config (g, t) (q : query) =
-  let g, t1 = List.fold_left (exec_clause config) (g, t) q.clauses in
+(* PROFILE: each top-level clause (including those of UNION branches) is
+   timed with the monotonic clock and tagged with the row count of the
+   table it produced.  In serial mode the wall-times are exact per-clause
+   costs; under parallelism the read phases overlap domain scheduling, so
+   the profile header labels the run as parallel (see [Explain]). *)
+let profile_clause profile c f =
+  match profile with
+  | None -> f ()
+  | Some acc ->
+      let label =
+        let s = Cypher_ast.Pretty.clause_to_string c in
+        if String.length s <= 60 then s else String.sub s 0 57 ^ "..."
+      in
+      let (g, t), ns = Cypher_util.Mclock.span_ns f in
+      acc :=
+        { Stats.pf_clause = label; pf_rows = Table.row_count t; pf_ns = ns }
+        :: !acc;
+      (g, t)
+
+let rec exec_query config ~stats ?profile (g, t) (q : query) =
+  let g, t1 =
+    List.fold_left
+      (fun (g, t) c ->
+        profile_clause profile c (fun () -> exec_clause config ~stats (g, t) c))
+      (g, t) q.clauses
+  in
   match q.union with
   | None -> (g, t1)
   | Some (all, q') ->
-      let g, t2 = exec_query config (g, Table.unit) q' in
+      let g, t2 = exec_query config ~stats ?profile (g, Table.unit) q' in
       if Table.columns t1 <> Table.columns t2 then
         Errors.eval_error
           "UNION branches must produce the same columns (%s vs %s)"
@@ -140,8 +169,9 @@ let rec exec_query config (g, t) (q : query) =
     statement on the unit table.  Under the legacy regime, graph validity
     is only checked here, at the statement boundary — mirroring Neo4j's
     commit-time dangling check (Section 4.2). *)
-let output config g (q : query) =
-  let g', t' = exec_query config (g, Table.unit) q in
+let output ?(stats = Stats.null) ?profile config g (q : query) =
+  let g', t' = exec_query config ~stats ?profile (g, Table.unit) q in
+  Stats.set_rows stats (Table.row_count t');
   (match config.Config.mode with
   | Config.Legacy ->
       let dangling = Graph.dangling_rels g' in

@@ -8,20 +8,33 @@
 open Cypher_graph
 open Cypher_table
 
-(** [exec_clause config (g, t) c] is [[c]](g, t).
+(** [exec_clause config ~stats (g, t) c] is [[c]](g, t); update clauses
+    record what they do into [stats] (pass {!Stats.null} to collect
+    nothing).
     @raise Errors.Error / Cypher_eval.Ctx.Error on failure. *)
 val exec_clause :
-  Config.t -> Graph.t * Table.t -> Cypher_ast.Ast.clause -> Graph.t * Table.t
+  Config.t ->
+  stats:Stats.collector ->
+  Graph.t * Table.t -> Cypher_ast.Ast.clause -> Graph.t * Table.t
 
 (** Executes a query on a graph–table pair.  UNION branches run
     left-to-right, each on the unit table against the graph produced by
     the previous branch; their output tables are combined by bag union
     (UNION ALL) or set union (UNION), as in Section 8.2. *)
 val exec_query :
-  Config.t -> Graph.t * Table.t -> Cypher_ast.Ast.query -> Graph.t * Table.t
+  Config.t ->
+  stats:Stats.collector ->
+  ?profile:Stats.profile_entry list ref ->
+  Graph.t * Table.t -> Cypher_ast.Ast.query -> Graph.t * Table.t
 
-(** [output config g q] is output(Q, G) of Section 8.1: runs the whole
-    statement on the unit table.  Under the legacy regime, graph
-    validity is only checked here, at the statement boundary — mirroring
-    Neo4j's commit-time dangling check (Section 4.2). *)
-val output : Config.t -> Graph.t -> Cypher_ast.Ast.query -> Graph.t * Table.t
+(** [output ?stats ?profile config g q] is output(Q, G) of Section 8.1:
+    runs the whole statement on the unit table.  Under the legacy
+    regime, graph validity is only checked here, at the statement
+    boundary — mirroring Neo4j's commit-time dangling check
+    (Section 4.2).  When [profile] is given, each top-level clause is
+    timed and its output row count recorded (entries accumulate in
+    execution order, latest first). *)
+val output :
+  ?stats:Stats.collector ->
+  ?profile:Stats.profile_entry list ref ->
+  Config.t -> Graph.t -> Cypher_ast.Ast.query -> Graph.t * Table.t

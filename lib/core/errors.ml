@@ -59,3 +59,10 @@ let to_string = function
   | Update_error m -> "update error: " ^ m
 
 let pp ppf e = Fmt.string ppf (to_string e)
+
+(* a structured error escaping to top level (e.g. via [Api.run_exn])
+   should render as its message, not as an opaque constructor dump *)
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some ("Cypher_core.Errors.Error: " ^ to_string e)
+    | _ -> None)

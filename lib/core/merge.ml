@@ -42,25 +42,31 @@ let ctx_of config graph row = Runtime.ctx config graph row
 (* Legacy MERGE                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let apply_set_legacy config g rows items =
+let apply_set_legacy config ~stats g rows items =
   List.fold_left
     (fun g row ->
-      List.fold_left (fun g item -> Set_clause.legacy_item config g row item) g items)
+      List.fold_left
+        (fun g item -> Set_clause.legacy_item config ~stats g row item)
+        g items)
     g rows
 
-let run_legacy config (g, t) ~patterns ~on_create ~on_match =
+let run_legacy config ~stats (g, t) ~patterns ~on_create ~on_match =
   let rows = Config.arrange_rows config (Table.rows t) in
   let g, out_rows_rev =
     List.fold_left
       (fun (g, acc) row ->
         let matches = Matcher.match_patterns ~mode:(Runtime.match_mode_of config) ~planner:(Runtime.planner_on config) (ctx_of config g row) patterns in
-        if matches <> [] then
-          let g = apply_set_legacy config g matches on_match in
+        if matches <> [] then begin
+          Stats.merge_matched stats 1;
+          let g = apply_set_legacy config ~stats g matches on_match in
           (g, List.rev_append matches acc)
-        else
-          let g, row' = Create.create_row config g row patterns in
-          let g = apply_set_legacy config g [ row' ] on_create in
-          (g, row' :: acc))
+        end
+        else begin
+          Stats.merge_created stats 1;
+          let g, row' = Create.create_row config ~stats g row patterns in
+          let g = apply_set_legacy config ~stats g [ row' ] on_create in
+          (g, row' :: acc)
+        end)
       (g, []) rows
   in
   let columns = Table.columns t @ List.concat_map pattern_vars patterns in
@@ -81,7 +87,7 @@ let no_created = { c_nodes = []; c_rels = [] }
     the instance to existing nodes; everything else is created fresh.
     Property expressions are evaluated against the *input* graph [g0].
     Returns created entity ids tagged with their pattern positions. *)
-let instantiate config g0 g row (patterns : pattern list) =
+let instantiate config ~stats g0 g row (patterns : pattern list) =
   let created = ref no_created in
   let resolve_node g row pat_idx elem_idx (np : node_pat) =
     let bound =
@@ -101,6 +107,7 @@ let instantiate config g0 g row (patterns : pattern list) =
     | None ->
         let props = Eval.eval_props (ctx_of config g0 row) np.np_props in
         let id, g = Graph.create_node ~labels:np.np_labels ~props g in
+        Stats.node_created stats id;
         created :=
           { !created with c_nodes = (id, (pat_idx, elem_idx)) :: !created.c_nodes };
         let row =
@@ -138,6 +145,7 @@ let instantiate config g0 g row (patterns : pattern list) =
               in
               let props = Eval.eval_props (ctx_of config g0 row) rp.rp_props in
               let rel_id, g = Graph.create_rel ~src ~tgt ~r_type ~props g in
+              Stats.rel_created stats rel_id;
               created :=
                 {
                   !created with
@@ -210,14 +218,14 @@ type row_outcome =
   | Matched of Record.t list
   | Created of Record.t  (** filled in after instantiation *)
 
-let apply_set_atomic config g rows columns items =
+let apply_set_atomic config ~stats g rows columns items =
   if items = [] || rows = [] then g
   else
     let t = Table.make columns rows in
-    let g, _ = Set_clause.run_atomic config (g, t) items in
+    let g, _ = Set_clause.run_atomic config ~stats (g, t) items in
     g
 
-let run_revised config (g0, t) ~mode ~patterns ~on_create ~on_match =
+let run_revised config ~stats (g0, t) ~mode ~patterns ~on_create ~on_match =
   (* 1. split the table against the input graph.  Candidate enumeration
      reads only the immutable [g0] snapshot, so it fans out over the
      domain pool with ordered gather; everything from instantiation on
@@ -285,8 +293,11 @@ let run_revised config (g0, t) ~mode ~patterns ~on_create ~on_match =
     List.fold_left
       (fun (g, acc, all_created) outcome ->
         match outcome with
-        | `Match matches -> (g, Matched matches :: acc, all_created)
+        | `Match matches ->
+            Stats.merge_matched stats 1;
+            (g, Matched matches :: acc, all_created)
         | `Fail row ->
+            Stats.merge_created stats 1;
             if grouped then (
               let key = grouping_key config g0 patterns row in
               match find_group key with
@@ -302,7 +313,9 @@ let run_revised config (g0, t) ~mode ~patterns ~on_create ~on_match =
                   in
                   (g, Created row' :: acc, all_created)
               | None ->
-                  let g, row', created = instantiate config g0 g row patterns in
+                  let g, row', created =
+                    instantiate config ~stats g0 g row patterns
+                  in
                   add_group key (row', created);
                   ( g,
                     Created row' :: acc,
@@ -311,7 +324,7 @@ let run_revised config (g0, t) ~mode ~patterns ~on_create ~on_match =
                       c_rels = created.c_rels @ all_created.c_rels;
                     } ))
             else
-              let g, row', created = instantiate config g0 g row patterns in
+              let g, row', created = instantiate config ~stats g0 g row patterns in
               ( g,
                 Created row' :: acc,
                 {
@@ -339,6 +352,13 @@ let run_revised config (g0, t) ~mode ~patterns ~on_create ~on_match =
           ~rel_pos_matters:false
   in
   let g = quotient.Quotient.graph in
+  (* fold the created-entity sets through the quotient so collapsed
+     instances count once *)
+  (match mode with
+  | Merge_all | Merge_grouping | Merge_legacy -> ()
+  | Merge_weak_collapse | Merge_collapse | Merge_same ->
+      Stats.remap_created stats ~node_map:quotient.Quotient.node_map
+        ~rel_map:quotient.Quotient.rel_map);
   (* remap every outcome row through the quotient exactly once; the
      remapped rows feed both the ON MATCH / ON CREATE sub-tables and the
      final result table.  The non-collapsing modes use the identity
@@ -371,8 +391,8 @@ let run_revised config (g0, t) ~mode ~patterns ~on_create ~on_match =
   in
   let columns = Table.columns t @ List.concat_map pattern_vars patterns in
   (* 4. ON MATCH / ON CREATE as atomic SETs over the two sub-tables *)
-  let g = apply_set_atomic config g matched_rows columns on_match in
-  let g = apply_set_atomic config g created_rows columns on_create in
+  let g = apply_set_atomic config ~stats g matched_rows columns on_match in
+  let g = apply_set_atomic config ~stats g created_rows columns on_create in
   (* 5. result table: Tmatch â Tcreate, in original record order *)
   let rows =
     List.concat_map
@@ -381,9 +401,9 @@ let run_revised config (g0, t) ~mode ~patterns ~on_create ~on_match =
   in
   (g, Table.make columns rows)
 
-let run config (g, t) ~mode ~patterns ~on_create ~on_match =
+let run config ~stats (g, t) ~mode ~patterns ~on_create ~on_match =
   match mode with
-  | Merge_legacy -> run_legacy config (g, t) ~patterns ~on_create ~on_match
+  | Merge_legacy -> run_legacy config ~stats (g, t) ~patterns ~on_create ~on_match
   | Merge_all | Merge_same | Merge_grouping | Merge_weak_collapse
   | Merge_collapse ->
-      run_revised config (g, t) ~mode ~patterns ~on_create ~on_match
+      run_revised config ~stats (g, t) ~mode ~patterns ~on_create ~on_match

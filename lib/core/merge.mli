@@ -32,6 +32,7 @@ open Cypher_ast.Ast
     one MERGE clause under the semantics selected by [mode]. *)
 val run :
   Config.t ->
+  stats:Stats.collector ->
   Graph.t * Table.t ->
   mode:merge_mode ->
   patterns:pattern list ->

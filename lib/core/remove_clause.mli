@@ -8,5 +8,6 @@ open Cypher_graph
 open Cypher_table
 
 val run :
-  Config.t -> Graph.t * Table.t -> Cypher_ast.Ast.remove_item list ->
-  Graph.t * Table.t
+  Config.t ->
+  stats:Stats.collector ->
+  Graph.t * Table.t -> Cypher_ast.Ast.remove_item list -> Graph.t * Table.t

@@ -13,7 +13,6 @@
     [rollback] pop one. *)
 
 open Cypher_graph
-open Cypher_table
 
 type t = {
   mutable graph : Graph.t;
@@ -49,21 +48,23 @@ let rollback s =
       s.snapshots <- rest;
       Ok ()
 
-(** [run s src] executes one statement against the session graph; the
+(** [run s src] executes one statement against the session graph —
+    recognising EXPLAIN / PROFILE prefixes — and returns the full
+    {!Api.result} (table, update counters, optional plan/profile); the
     graph advances only on success (statement-level atomicity). *)
-let run s src : (Table.t, Errors.t) result =
-  match Api.run_string ~config:s.config s.graph src with
-  | Ok { Api.graph; table } ->
-      s.graph <- graph;
-      Ok table
+let run s src : (Api.result, Errors.t) result =
+  match Api.run_string_full ~config:s.config s.graph src with
+  | Ok r ->
+      s.graph <- r.Api.r_graph;
+      Ok r
   | Error e -> Error e
 
 (** [run_query s q] is {!run} for a pre-parsed query. *)
-let run_query s q : (Table.t, Errors.t) result =
-  match Api.run_query ~config:s.config s.graph q with
-  | Ok { Api.graph; table } ->
-      s.graph <- graph;
-      Ok table
+let run_query ?prefix s q : (Api.result, Errors.t) result =
+  match Api.run_query_full ~config:s.config ?prefix s.graph q with
+  | Ok r ->
+      s.graph <- r.Api.r_graph;
+      Ok r
   | Error e -> Error e
 
 (** [reset s] drops the graph and any open transactions. *)

@@ -8,7 +8,6 @@
     nest. *)
 
 open Cypher_graph
-open Cypher_table
 
 type t
 
@@ -25,12 +24,19 @@ val begin_tx : t -> unit
 val commit : t -> (unit, string) result
 val rollback : t -> (unit, string) result
 
-(** [run s src] executes one statement against the session graph; the
-    graph advances only on success (statement-level atomicity). *)
-val run : t -> string -> (Table.t, Errors.t) result
+(** [run s src] executes one statement against the session graph —
+    recognising EXPLAIN / PROFILE prefixes — and returns the full
+    {!Api.result} (table, update counters, optional plan and profile);
+    the graph advances only on success (statement-level atomicity). *)
+val run : t -> string -> (Api.result, Errors.t) result
 
-(** [run_query s q] is {!run} for a pre-parsed query. *)
-val run_query : t -> Cypher_ast.Ast.query -> (Table.t, Errors.t) result
+(** [run_query s q] is {!run} for a pre-parsed query; [prefix]
+    defaults to [Plain]. *)
+val run_query :
+  ?prefix:Cypher_parser.Parser.prefix ->
+  t ->
+  Cypher_ast.Ast.query ->
+  (Api.result, Errors.t) result
 
 (** [reset s] drops the graph and any open transactions. *)
 val reset : t -> unit

@@ -57,53 +57,93 @@ let resolve_props config g row e : Props.t =
 (* Legacy: immediate application                                      *)
 (* ------------------------------------------------------------------ *)
 
-let apply_prop g target k v =
+(* The apply_* helpers are the single point every property/label write
+   funnels through (legacy immediate application, atomic apply_change,
+   MERGE's ON CREATE / ON MATCH), so the stats touches recorded here are
+   exhaustive.  Touches are recorded only for entities that exist at
+   write time — a legacy SET on a deleted node is a graph no-op
+   (Section 4.2's "empty node") and must be a stats no-op too. *)
+
+let stats_target = function
+  | T_node id -> Stats.Tnode id
+  | T_rel id -> Stats.Trel id
+
+let target_alive g = function
+  | T_node id -> Graph.has_node g id
+  | T_rel id -> Graph.has_rel g id
+
+let props_of g = function
+  | T_node id -> Graph.node_props_of g id
+  | T_rel id -> Graph.rel_props_of g id
+
+let touch_prop stats g target k =
+  if Stats.enabled stats && target_alive g target then
+    Stats.prop_touched stats (stats_target target) k
+      ~orig:(Props.get (props_of g target) k)
+
+let apply_prop ~stats g target k v =
+  touch_prop stats g target k;
   match target with
   | T_node id -> Graph.set_node_prop g id k v
   | T_rel id -> Graph.set_rel_prop g id k v
 
-let apply_replace g target props =
+let apply_replace ~stats g target props =
+  (if Stats.enabled stats && target_alive g target then
+     (* every key of the old and the new map is potentially changed *)
+     let keys =
+       List.map fst (Props.bindings (props_of g target))
+       @ List.map fst (Props.bindings props)
+     in
+     List.iter (fun k -> touch_prop stats g target k) keys);
   match target with
   | T_node id -> Graph.replace_node_props g id props
   | T_rel id -> Graph.replace_rel_props g id props
 
-let apply_merge g target props =
+let apply_merge ~stats g target props =
+  (if Stats.enabled stats && target_alive g target then
+     List.iter (fun (k, _) -> touch_prop stats g target k) (Props.bindings props));
   match target with
   | T_node id -> Graph.merge_node_props g id props
   | T_rel id -> Graph.merge_rel_props g id props
 
-let apply_labels g target labels =
+let apply_labels ~stats g target labels =
   match target with
-  | T_node id -> Graph.add_labels g id labels
+  | T_node id ->
+      if Stats.enabled stats && Graph.has_node g id then
+        List.iter
+          (fun l -> Stats.label_touched stats id l ~had:(Graph.has_label g id l))
+          labels;
+      Graph.add_labels g id labels
   | T_rel _ ->
       Errors.update_error "labels can only be set on nodes"
 
-let legacy_item config g row item =
+let legacy_item config ~stats g row item =
   match item with
   | Set_prop (e, k, ve) -> (
       match resolve_target config g row e with
       | None -> g
       | Some t ->
           let v = Eval.eval (Runtime.ctx config g row) ve in
-          apply_prop g t k v)
+          apply_prop ~stats g t k v)
   | Set_all_props (e, me) -> (
       match resolve_target config g row e with
       | None -> g
-      | Some t -> apply_replace g t (resolve_props config g row me))
+      | Some t -> apply_replace ~stats g t (resolve_props config g row me))
   | Set_merge_props (e, me) -> (
       match resolve_target config g row e with
       | None -> g
-      | Some t -> apply_merge g t (resolve_props config g row me))
+      | Some t -> apply_merge ~stats g t (resolve_props config g row me))
   | Set_labels (e, ls) -> (
       match resolve_target config g row e with
       | None -> g
-      | Some t -> apply_labels g t ls)
+      | Some t -> apply_labels ~stats g t ls)
 
-let run_legacy config (g, t) items =
+let run_legacy config ~stats (g, t) items =
   let rows = Config.arrange_rows config (Table.rows t) in
   let g =
     List.fold_left
-      (fun g row -> List.fold_left (fun g item -> legacy_item config g row item) g items)
+      (fun g row ->
+        List.fold_left (fun g item -> legacy_item config ~stats g row item) g items)
       g rows
   in
   (g, t)
@@ -199,12 +239,12 @@ let check_conflicts changes =
                  }))
     tbl
 
-let apply_change g = function
-  | C_prop (t, k, v) -> apply_prop g t k v
-  | C_replace (t, props) -> apply_replace g t props
-  | C_labels (t, ls) -> apply_labels g t ls
+let apply_change ~stats g = function
+  | C_prop (t, k, v) -> apply_prop ~stats g t k v
+  | C_replace (t, props) -> apply_replace ~stats g t props
+  | C_labels (t, ls) -> apply_labels ~stats g t ls
 
-let run_atomic config (g, t) items =
+let run_atomic config ~stats (g, t) items =
   let changes =
     List.fold_left
       (fun acc row ->
@@ -217,10 +257,10 @@ let run_atomic config (g, t) items =
      assignments agreeing with a replacement must survive it *)
   let order = function C_replace _ -> 0 | C_prop _ -> 1 | C_labels _ -> 2 in
   let changes = List.stable_sort (fun a b -> compare (order a) (order b)) changes in
-  let g = List.fold_left apply_change g changes in
+  let g = List.fold_left (apply_change ~stats) g changes in
   (g, t)
 
-let run config (g, t) items =
+let run config ~stats (g, t) items =
   match config.Config.mode with
-  | Config.Legacy -> run_legacy config (g, t) items
-  | Config.Atomic -> run_atomic config (g, t) items
+  | Config.Legacy -> run_legacy config ~stats (g, t) items
+  | Config.Atomic -> run_atomic config ~stats (g, t) items

@@ -1,0 +1,122 @@
+(** Statement update counters (the observability substrate).
+
+    Every update module records what it does into a {!collector}; at the
+    statement boundary {!finalize} turns the recorded touches into a
+    {!t} of *net* counts against the result graph.  The counts are
+    defined to equal the structural diff of the statement's input and
+    output graphs:
+
+    - an entity created and later deleted in the same statement counts
+      for nothing;
+    - a property set twice counts once; set back to its original value,
+      zero times;
+    - properties and labels of entities created (or deleted) by the
+      statement are folded into the created/deleted counts, not into
+      [props_set]/[labels_removed].
+
+    This "net diff" reading is what makes the counters checkable: the
+    [counters] fuzz oracle recomputes the diff from the two graphs and
+    the two numbers must agree (see DESIGN.md).  [merge_matched],
+    [merge_created] and [rows] are execution facts, not diff facts. *)
+
+open Cypher_graph
+
+type t = {
+  nodes_created : int;
+  nodes_deleted : int;
+  rels_created : int;
+  rels_deleted : int;
+  props_set : int;
+  props_removed : int;
+  labels_added : int;
+  labels_removed : int;
+  merge_matched : int;  (** MERGE driving records that found a match *)
+  merge_created : int;  (** MERGE driving records that went down the create path *)
+  rows : int;  (** rows in the statement's output table *)
+}
+
+val empty : t
+
+(** [contains_updates s] is true when any graph-changing count is
+    non-zero (merge counters and [rows] do not count). *)
+val contains_updates : t -> bool
+
+val equal : t -> t -> bool
+
+(** Neo4j-style one-line footer, e.g.
+    ["Created 2 nodes, set 3 properties"]; ["(no changes)"] when
+    {!contains_updates} is false. *)
+val footer : t -> string
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(* ------------------------------------------------------------------ *)
+(* Collection                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** A mutable collector threaded through the update modules.  All
+    recording functions are no-ops on a disabled collector, so the
+    disabled path costs one branch per recorded event. *)
+type collector
+
+val make : unit -> collector
+
+(** The shared disabled collector: recording into it does nothing.
+    Callers that do not want counters pass this. *)
+val null : collector
+
+val enabled : collector -> bool
+
+(** Identity of a touched property/label carrier. *)
+type target = Tnode of int | Trel of int
+
+val node_created : collector -> int -> unit
+val rel_created : collector -> int -> unit
+
+(** [node_deleted c id] / [rel_deleted c id]: call only when the entity
+    actually existed at deletion time.  Deleting an entity the statement
+    itself created cancels the creation instead of counting a delete. *)
+val node_deleted : collector -> int -> unit
+
+val rel_deleted : collector -> int -> unit
+
+(** [prop_touched c target key ~orig] records the first-touch original
+    value ([Value.Null] = absent) of a property the statement writes or
+    removes.  Touches on entities the statement created are ignored —
+    their final properties are counted wholesale at {!finalize}. *)
+val prop_touched : collector -> target -> string -> orig:Value.t -> unit
+
+(** [label_touched c id label ~had] likewise for a node label;
+    [had] is whether the node carried the label before the touch. *)
+val label_touched : collector -> int -> string -> had:bool -> unit
+
+val merge_matched : collector -> int -> unit
+val merge_created : collector -> int -> unit
+
+(** [remap_created c ~node_map ~rel_map] maps the created-entity sets
+    through a MERGE collapsibility quotient (ids of collapsed entities
+    fold onto their class representative). *)
+val remap_created :
+  collector -> node_map:(int -> int) -> rel_map:(int -> int) -> unit
+
+val set_rows : collector -> int -> unit
+
+(** [finalize c g_out] closes the collector against the statement's
+    result graph: created entities contribute their final labels and
+    properties; touched properties/labels on surviving pre-existing
+    entities are compared first-touch-original vs final. *)
+val finalize : collector -> Graph.t -> t
+
+(* ------------------------------------------------------------------ *)
+(* Profiling                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** One top-level clause of a PROFILEd statement. *)
+type profile_entry = {
+  pf_clause : string;  (** rendered clause text (possibly truncated) *)
+  pf_rows : int;  (** rows in the table the clause produced *)
+  pf_ns : int64;  (** monotonic wall-time spent in the clause *)
+}
+
+val pp_profile : Format.formatter -> profile_entry list -> unit

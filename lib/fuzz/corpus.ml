@@ -5,11 +5,14 @@
     statement under test.
 
     {v
-    // oracle: roundtrip | planner | parallel | divergence | wellformed | eval
+    // oracle: roundtrip | planner | parallel | divergence | wellformed
+    //         | counters | eval | error
     // index: A id                     (zero or more; property indexes)
     // graph: CREATE (:A {k: 1})       (zero or more; setup statements)
     // match: homomorphic              ('parallel' oracle only; optional)
-    // expect: eq=false                ('eval' oracle only)
+    // expect: eq=false                ('eval': rendered table;
+    //                                  'error': expected error kind,
+    //                                  e.g. validation or eval)
     MATCH (n:A) RETURN n.k = 1 AS eq
     v}
 
@@ -34,7 +37,10 @@ type oracle =
   | Parallel
   | Divergence
   | Wellformed
+  | Counters  (** update counters vs graph diff ({!Oracles.counters}) *)
   | Eval of string  (** expected canonical rendering of the result table *)
+  | Expect_error of string
+      (** the statement must fail, with this {!Oracles.kind_name} *)
 
 type entry = {
   name : string;
@@ -116,8 +122,11 @@ let parse_entry ~name text : (entry, string) result =
     | Some "parallel", _ -> entry Parallel
     | Some "divergence", _ -> entry Divergence
     | Some "wellformed", _ -> entry Wellformed
+    | Some "counters", _ -> entry Counters
     | Some "eval", Some expected -> entry (Eval expected)
     | Some "eval", None -> Error (name ^ ": eval entry without // expect:")
+    | Some "error", Some kind -> entry (Expect_error kind)
+    | Some "error", None -> Error (name ^ ": error entry without // expect:")
     | Some o, _ -> Error (name ^ ": unknown oracle " ^ o)
     | None, _ -> Error (name ^ ": missing // oracle: header")
 
@@ -127,7 +136,9 @@ let oracle_keyword = function
   | Parallel -> "parallel"
   | Divergence -> "divergence"
   | Wellformed -> "wellformed"
+  | Counters -> "counters"
   | Eval _ -> "eval"
+  | Expect_error _ -> "error"
 
 let render_entry e =
   let b = Buffer.create 256 in
@@ -138,7 +149,8 @@ let render_entry e =
   List.iter (fun s -> Buffer.add_string b ("// graph: " ^ s ^ "\n")) e.setup;
   if e.homomorphic then Buffer.add_string b "// match: homomorphic\n";
   (match e.oracle with
-  | Eval expected -> Buffer.add_string b ("// expect: " ^ expected ^ "\n")
+  | Eval expected | Expect_error expected ->
+      Buffer.add_string b ("// expect: " ^ expected ^ "\n")
   | _ -> ());
   Buffer.add_string b e.statement;
   Buffer.add_char b '\n';
@@ -249,6 +261,23 @@ let build_graph e : (Graph.t, string) result =
 let check e : (unit, string) result =
   let ( let* ) = Result.bind in
   let* g = build_graph e in
+  match e.oracle with
+  | Expect_error kind -> (
+      (* parse/validation failures can be the expectation here, so this
+         variant runs the raw text instead of pre-parsing it *)
+      match Api.run_string ~config:Config.permissive g e.statement with
+      | Ok _ ->
+          Error
+            (Printf.sprintf "%s: expected a %s error but the statement succeeded"
+               e.name kind)
+      | Error err ->
+          let got = Oracles.kind_name (Oracles.error_kind err) in
+          if got = kind then Ok ()
+          else
+            Error
+              (Printf.sprintf "%s: expected a %s error but got %s: %s" e.name
+                 kind got (Errors.to_string err)))
+  | _ ->
   let* q =
     match Api.parse ~dialect:Cypher_ast.Validate.Permissive e.statement with
     | Ok q -> Ok q
@@ -257,6 +286,7 @@ let check e : (unit, string) result =
                  (Errors.to_string err))
   in
   match e.oracle with
+  | Expect_error _ -> assert false (* handled above *)
   | Roundtrip -> Oracles.roundtrip q
   | Planner -> Oracles.planner_equivalence g q
   | Parallel ->
@@ -265,6 +295,7 @@ let check e : (unit, string) result =
       in
       Oracles.parallel_equivalence ~match_mode g q
   | Wellformed -> Oracles.wellformed g q
+  | Counters -> Oracles.counters g q
   | Divergence -> (
       match Oracles.divergence g q with
       | Oracles.Agree | Oracles.Classified _ -> Ok ()

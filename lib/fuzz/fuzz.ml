@@ -1,9 +1,10 @@
-(** The fuzzing driver: generate, run all five oracles, shrink failures.
+(** The fuzzing driver: generate, run all six oracles, shrink failures.
 
     One iteration derives a fresh splitmix64 stream from
     [seed + iteration], generates a (graph, statement) case and runs
-    the round-trip, planner-equivalence, divergence-classification and
-    well-formedness oracles ({!Oracles}).  Failures are shrunk with
+    the round-trip, planner-equivalence, parallel-equivalence,
+    divergence-classification, well-formedness and update-counter
+    oracles ({!Oracles}).  Failures are shrunk with
     {!Shrink.minimize} under a predicate that reproduces the same
     oracle's failure, so the reported case is (locally) minimal. *)
 
@@ -20,7 +21,7 @@ type failure = {
 
 type report = {
   seed : int;
-  iterations : int;  (** cases run through each of the five oracles *)
+  iterations : int;  (** cases run through each of the six oracles *)
   agreements : int;  (** divergence-oracle runs where both regimes agree *)
   classified : (Oracles.category * int) list;  (** sanctioned divergences *)
   failures : failure list;  (** shrunk; empty on a clean run *)
@@ -73,11 +74,17 @@ let run ?(seed = 0) ~count () =
             | Oracles.Unclassified _ -> true
             | _ -> false)
           g q detail);
-    match Oracles.wellformed g q with
+    (match Oracles.wellformed g q with
     | Ok () -> ()
     | Error detail ->
         record ~oracle:"wellformed" ~iteration:i
           ~fails:(fun g q -> Result.is_error (Oracles.wellformed g q))
+          g q detail);
+    match Oracles.counters g q with
+    | Ok () -> ()
+    | Error detail ->
+        record ~oracle:"counters" ~iteration:i
+          ~fails:(fun g q -> Result.is_error (Oracles.counters g q))
           g q detail
   done;
   {
@@ -101,7 +108,7 @@ let pp_failure ppf f =
     Graph.pp f.graph
 
 let pp_report ppf r =
-  Fmt.pf ppf "@[<v>fuzz: seed %d, %d cases x 5 oracles@," r.seed r.iterations;
+  Fmt.pf ppf "@[<v>fuzz: seed %d, %d cases x 6 oracles@," r.seed r.iterations;
   Fmt.pf ppf "divergence oracle: %d agree, %d sanctioned divergences@,"
     r.agreements
     (List.fold_left (fun acc (_, n) -> acc + n) 0 r.classified);

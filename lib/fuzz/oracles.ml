@@ -1,4 +1,4 @@
-(** The four cross-validation oracles run against every generated case.
+(** The cross-validation oracles run against every generated case.
 
     1. {!roundtrip}: pretty-print → re-parse → AST equality.  Guards
        the concrete syntax layer: every AST the generator can build must
@@ -20,7 +20,13 @@
        changes, the domain-pool fan-out performs an ordered gather, so
        the two runs must be {e byte-identical} — same rendered result
        table, same rendered graph, same error — not merely
-       bag-equivalent. *)
+       bag-equivalent.
+    6. {!counters}: the statement update counters ({!Cypher_core.Stats})
+       reported by a successful run must equal an independently computed
+       structural diff of the input and output graphs, under both
+       regimes.  The engine computes counters *inside* the update
+       modules (net-of-cancellation identity tracking); the oracle
+       recomputes them from the outside and the two must agree. *)
 
 open Cypher_ast.Ast
 open Cypher_util.Maps
@@ -241,6 +247,118 @@ let parallel_equivalence ?(match_mode = Config.Isomorphic) g q :
           (Fmt.str "parallel and serial result tables differ: %s vs %s"
              (outcome_summary o1) (outcome_summary o2))
       else Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Oracle 6: update counters vs structural graph diff                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Recomputes {!Cypher_core.Stats.t} from first principles: a
+    structural diff of the input and output graphs, knowing nothing
+    about what the statement did.  Entity ids are never reused (the
+    store tombstones deletions), so id-set differences are exactly the
+    creations/deletions; properties and labels of created entities are
+    folded into the created counts, surviving entities contribute their
+    net per-key changes.  This is deliberately redundant with the
+    engine's own collection — the redundancy is the oracle. *)
+let graph_diff (g_in : Graph.t) (g_out : Graph.t) : Cypher_core.Stats.t =
+  let node_tbl = Hashtbl.create 16 and rel_tbl = Hashtbl.create 16 in
+  List.iter (fun (n : Graph.node) -> Hashtbl.replace node_tbl n.Graph.n_id n)
+    (Graph.nodes g_in);
+  List.iter (fun (r : Graph.rel) -> Hashtbl.replace rel_tbl r.Graph.r_id r)
+    (Graph.rels g_in);
+  let props_set = ref 0 and props_removed = ref 0 in
+  let labels_added = ref 0 and labels_removed = ref 0 in
+  let diff_props before after =
+    let keys =
+      List.sort_uniq compare
+        (List.map fst (Props.bindings before) @ List.map fst (Props.bindings after))
+    in
+    List.iter
+      (fun k ->
+        let b = Props.get before k and a = Props.get after k in
+        if not (Value.equal_strict b a) then
+          if Value.is_null a then incr props_removed else incr props_set)
+      keys
+  in
+  let nodes_created = ref 0 and nodes_deleted = ref 0 in
+  List.iter
+    (fun (n : Graph.node) ->
+      match Hashtbl.find_opt node_tbl n.Graph.n_id with
+      | None ->
+          incr nodes_created;
+          props_set := !props_set + List.length (Props.bindings n.Graph.n_props);
+          labels_added := !labels_added + Sset.cardinal n.Graph.labels
+      | Some old ->
+          diff_props old.Graph.n_props n.Graph.n_props;
+          labels_added :=
+            !labels_added + Sset.cardinal (Sset.diff n.Graph.labels old.Graph.labels);
+          labels_removed :=
+            !labels_removed + Sset.cardinal (Sset.diff old.Graph.labels n.Graph.labels))
+    (Graph.nodes g_out);
+  List.iter
+    (fun (n : Graph.node) ->
+      if not (Graph.has_node g_out n.Graph.n_id) then incr nodes_deleted)
+    (Graph.nodes g_in);
+  let rels_created = ref 0 and rels_deleted = ref 0 in
+  List.iter
+    (fun (r : Graph.rel) ->
+      match Hashtbl.find_opt rel_tbl r.Graph.r_id with
+      | None ->
+          incr rels_created;
+          props_set := !props_set + List.length (Props.bindings r.Graph.r_props)
+      | Some old -> diff_props old.Graph.r_props r.Graph.r_props)
+    (Graph.rels g_out);
+  List.iter
+    (fun (r : Graph.rel) ->
+      if not (Graph.has_rel g_out r.Graph.r_id) then incr rels_deleted)
+    (Graph.rels g_in);
+  {
+    Cypher_core.Stats.empty with
+    nodes_created = !nodes_created;
+    nodes_deleted = !nodes_deleted;
+    rels_created = !rels_created;
+    rels_deleted = !rels_deleted;
+    props_set = !props_set;
+    props_removed = !props_removed;
+    labels_added = !labels_added;
+    labels_removed = !labels_removed;
+  }
+
+(** Oracle 6: the engine's update counters must equal the structural
+    diff of the input and output graphs, under both the revised and the
+    legacy regime, and [rows] must equal the output table's row count.
+    A failing statement reports nothing to check. *)
+let counters g q : (unit, string) result =
+  let module Stats = Cypher_core.Stats in
+  let check_one name config q =
+    match Api.run_query_full ~config g q with
+    | Error _ -> Ok ()
+    | Ok r ->
+        let stats = r.Api.r_stats in
+        let diff = graph_diff g r.Api.r_graph in
+        (* merge_* and rows are execution facts, invisible to the diff *)
+        let expected =
+          {
+            diff with
+            Stats.merge_matched = stats.Stats.merge_matched;
+            merge_created = stats.Stats.merge_created;
+            rows = stats.Stats.rows;
+          }
+        in
+        if not (Stats.equal stats expected) then
+          Error
+            (Fmt.str "%s counters disagree with the graph diff: %s vs diff %s"
+               name (Stats.to_string stats) (Stats.to_string expected))
+        else if stats.Stats.rows <> Table.row_count r.Api.r_table then
+          Error
+            (Fmt.str "%s row counter %d but table has %d row(s)" name
+               stats.Stats.rows
+               (Table.row_count r.Api.r_table))
+        else Ok ()
+  in
+  match check_one "revised" revised_planned q with
+  | Error _ as e -> e
+  | Ok () -> check_one "legacy" legacy_config (legacy_query q)
 
 (* ------------------------------------------------------------------ *)
 (* Oracle 3: legacy vs revised divergence classification              *)

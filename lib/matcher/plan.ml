@@ -55,9 +55,50 @@ type t = {
   p_anchor : node_pat;
   p_anchor_pos : int;
   p_anchor_kind : anchor_kind;
+  p_anchor_cost : int;  (** estimated anchor candidate count *)
   p_hops : hop list;  (** rightward hops first, then leftward ones *)
   p_positions : int;  (** number of node positions: steps + 1 *)
 }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering (EXPLAIN)                                                *)
+(* ------------------------------------------------------------------ *)
+
+let describe_node (np : node_pat) =
+  let var = Option.value ~default:"" np.np_var in
+  let labels = String.concat "" (List.map (fun l -> ":" ^ l) np.np_labels) in
+  "(" ^ var ^ labels ^ ")"
+
+let describe_anchor plan =
+  let cand n = Printf.sprintf "~%d candidate%s" n (if n = 1 then "" else "s") in
+  match plan.p_anchor_kind with
+  | Anchor_bound -> "bound variable"
+  | Anchor_prop_index { pi_label; pi_key; _ } ->
+      Printf.sprintf "prop index :%s(%s), %s" pi_label pi_key
+        (cand plan.p_anchor_cost)
+  | Anchor_label l ->
+      Printf.sprintf "label index :%s, %s" l (cand plan.p_anchor_cost)
+  | Anchor_scan ->
+      Printf.sprintf "all-nodes scan, %s" (cand plan.p_anchor_cost)
+
+let describe plan =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "anchor @%d %s via %s" plan.p_anchor_pos
+       (describe_node plan.p_anchor) (describe_anchor plan));
+  List.iter
+    (fun h ->
+      let types =
+        match h.h_rp.rp_types with
+        | [] -> ""
+        | ts -> ":" ^ String.concat "|" ts
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "\n  expand @%d -[%s]- @%d %s%s" h.h_src_pos types
+           h.h_far_pos (describe_node h.h_far)
+           (if h.h_reversed then " (reversed)" else "")))
+    plan.p_hops;
+  Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
 (* Safety: is every property expression evaluable before traversal?   *)
@@ -148,7 +189,7 @@ let make (ctx : Ctx.t) (row : Record.t) (p : pattern) : t option =
     let positions = Array.length node_pats in
     (* pick the cheapest anchor position; ties keep the leftmost, so a
        pattern with uniform statistics still anchors on pat_start *)
-    let _, best_pos, best_kind =
+    let best_cost, best_pos, best_kind =
       Array.to_seqi node_pats
       |> Seq.fold_left
            (fun ((best_cost, _, _) as best) (i, np) ->
@@ -190,6 +231,7 @@ let make (ctx : Ctx.t) (row : Record.t) (p : pattern) : t option =
         p_anchor = node_pats.(best_pos);
         p_anchor_pos = best_pos;
         p_anchor_kind = best_kind;
+        p_anchor_cost = best_cost;
         p_hops = rightward @ leftward;
         p_positions = positions;
       }

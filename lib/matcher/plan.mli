@@ -37,9 +37,15 @@ type t = {
   p_anchor : node_pat;
   p_anchor_pos : int;
   p_anchor_kind : anchor_kind;
+  p_anchor_cost : int;  (** estimated anchor candidate count *)
   p_hops : hop list;  (** rightward hops first, then leftward ones *)
   p_positions : int;  (** number of node positions: steps + 1 *)
 }
+
+(** [describe plan] renders the traversal order (anchor choice with its
+    index and cardinality estimate, then each oriented hop) as a small
+    multi-line tree, for EXPLAIN. *)
+val describe : t -> string
 
 (** [make ctx row p] plans pattern [p] under the bindings of [row];
     [None] when reordering could be observable (a pattern property

@@ -7,19 +7,21 @@ open Cypher_table
 open Cypher_core
 module Validate = Cypher_ast.Validate
 
-(** [parse_clause src] parses a one-clause statement permissively. *)
+(** [parse_clause src] parses a one-clause statement permissively.
+    @raise Errors.Error on parse/validation failure (the structured
+    error is preserved for callers that match on it). *)
 let parse_clause src : Cypher_ast.Ast.clause =
   match Api.parse ~dialect:Validate.Permissive src with
-  | Error e -> failwith (Errors.to_string e)
+  | Error e -> Errors.fail e
   | Ok q -> (
       match q.Cypher_ast.Ast.clauses with
       | [ c ] -> c
-      | _ -> failwith "expected a single clause")
+      | _ -> Errors.fail (Errors.Validation_error "expected a single clause"))
 
 (** [run_clause config src (g, t)] executes the clause denoted by [src]
     on the given graph–table pair. *)
 let run_clause config src (g, t) : Graph.t * Table.t =
-  Engine.exec_clause config (g, t) (parse_clause src)
+  Engine.exec_clause config ~stats:Stats.null (g, t) (parse_clause src)
 
 (** [run_merge_mode config ~mode src (g, t)] executes the MERGE clause in
     [src] but overriding its semantics with [mode] — this is how the
@@ -27,8 +29,9 @@ let run_clause config src (g, t) : Graph.t * Table.t =
 let run_merge_mode config ~mode src (g, t) : Graph.t * Table.t =
   match parse_clause src with
   | Cypher_ast.Ast.Merge { patterns; on_create; on_match; _ } ->
-      Merge.run config (g, t) ~mode ~patterns ~on_create ~on_match
-  | _ -> failwith "expected a MERGE clause"
+      Merge.run config ~stats:Stats.null (g, t) ~mode ~patterns ~on_create
+        ~on_match
+  | _ -> Errors.fail (Errors.Validation_error "expected a MERGE clause")
 
 (** All driving-table orders used to probe order dependence. *)
 let probe_orders = [ Config.Forward; Config.Reverse; Config.Seeded 1; Config.Seeded 42 ]

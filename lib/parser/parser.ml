@@ -72,7 +72,7 @@ let clause_keywords =
     "MATCH"; "OPTIONAL"; "WHERE"; "RETURN"; "WITH"; "UNWIND"; "CREATE"; "SET";
     "REMOVE"; "DELETE"; "DETACH"; "MERGE"; "FOREACH"; "UNION"; "AS"; "AND";
     "OR"; "XOR"; "NOT"; "WHEN"; "THEN"; "ELSE"; "END"; "CASE"; "DISTINCT";
-    "IN"; "IS";
+    "IN"; "IS"; "EXPLAIN"; "PROFILE";
   ]
 
 let is_reserved s = List.mem (String.uppercase_ascii s) clause_keywords
@@ -923,6 +923,58 @@ let parse_program src : (query list, error) result =
             let q = parse_query st in
             let _ = parse_statement_end st in
             loop (q :: acc)
+        in
+        Ok (loop [])
+      with Parse_error e -> Error e)
+
+(** Statement prefix: [EXPLAIN] renders the execution plan without
+    running the statement; [PROFILE] runs it and reports per-clause row
+    counts and wall-time alongside the plan. *)
+type prefix = Plain | Explain | Profile
+
+(** [parse_statement src] parses one statement, recognising an optional
+    [EXPLAIN] / [PROFILE] prefix before the query proper. *)
+let parse_statement src : (prefix * query, error) result =
+  match Lexer.tokenize src with
+  | Error { Lexer.message; line; col } -> Error { message; line; col }
+  | Ok toks -> (
+      let st = { toks = Array.of_list toks; idx = 0 } in
+      try
+        let prefix =
+          if eat_kw st "EXPLAIN" then Explain
+          else if eat_kw st "PROFILE" then Profile
+          else Plain
+        in
+        let q = parse_query st in
+        let _ = parse_statement_end st in
+        if cur_kind st <> Token.Eof then
+          fail st "unexpected %s after query" (Token.describe (cur_kind st));
+        Ok (prefix, q)
+      with Parse_error e -> Error e)
+
+(** [parse_statements src] parses a [;]-separated sequence of
+    statements, recognising the [EXPLAIN] / [PROFILE] prefix on each
+    (the script-file counterpart of {!parse_statement}). *)
+let parse_statements src : ((prefix * query) list, error) result =
+  match Lexer.tokenize src with
+  | Error { Lexer.message; line; col } -> Error { message; line; col }
+  | Ok toks -> (
+      let st = { toks = Array.of_list toks; idx = 0 } in
+      try
+        let rec loop acc =
+          if cur_kind st = Token.Eof then List.rev acc
+          else if cur_kind st = Token.Semi then (
+            advance st;
+            loop acc)
+          else
+            let prefix =
+              if eat_kw st "EXPLAIN" then Explain
+              else if eat_kw st "PROFILE" then Profile
+              else Plain
+            in
+            let q = parse_query st in
+            let _ = parse_statement_end st in
+            loop ((prefix, q) :: acc)
         in
         Ok (loop [])
       with Parse_error e -> Error e)

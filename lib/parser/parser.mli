@@ -14,8 +14,23 @@ val error_to_string : error -> string
 (** [parse_string src] parses one query (a trailing [;] is allowed). *)
 val parse_string : string -> (Cypher_ast.Ast.query, error) result
 
+(** Statement prefix: [EXPLAIN] renders the execution plan without
+    running the statement; [PROFILE] runs it and reports per-clause row
+    counts and wall-time alongside the plan. *)
+type prefix = Plain | Explain | Profile
+
+(** [parse_statement src] parses one statement, recognising an optional
+    [EXPLAIN] / [PROFILE] prefix (a trailing [;] is allowed). *)
+val parse_statement :
+  string -> (prefix * Cypher_ast.Ast.query, error) result
+
 (** [parse_program src] parses a [;]-separated sequence of queries. *)
 val parse_program : string -> (Cypher_ast.Ast.query list, error) result
+
+(** [parse_statements src] parses a [;]-separated sequence of
+    statements, each with an optional [EXPLAIN] / [PROFILE] prefix. *)
+val parse_statements :
+  string -> ((prefix * Cypher_ast.Ast.query) list, error) result
 
 (** [parse_expr_string src] parses a standalone expression. *)
 val parse_expr_string : string -> (Cypher_ast.Ast.expr, error) result

@@ -1,0 +1,16 @@
+(** Monotonic clock — see mclock.mli.  The implementation is a C stub
+    over [clock_gettime(CLOCK_MONOTONIC)]; no external package needed. *)
+
+external now_ns : unit -> int64 = "cypher_mclock_now_ns"
+
+let span_ns f =
+  let t0 = now_ns () in
+  let x = f () in
+  (x, Int64.sub (now_ns ()) t0)
+
+let pp_ns ns =
+  let ns = Int64.to_float ns in
+  if ns < 1_000. then Printf.sprintf "%.0fns" ns
+  else if ns < 1_000_000. then Printf.sprintf "%.1fus" (ns /. 1_000.)
+  else if ns < 1_000_000_000. then Printf.sprintf "%.1fms" (ns /. 1_000_000.)
+  else Printf.sprintf "%.2fs" (ns /. 1_000_000_000.)

@@ -1,0 +1,15 @@
+(** Monotonic clock (nanoseconds since an arbitrary epoch).
+
+    Used by the PROFILE machinery for per-clause wall-time: intervals
+    between two {!now_ns} readings are meaningful; absolute values are
+    not. *)
+
+val now_ns : unit -> int64
+
+(** [span_ns f] runs [f] and returns its result with the elapsed
+    monotonic nanoseconds. *)
+val span_ns : (unit -> 'a) -> 'a * int64
+
+(** Renders a nanosecond interval for humans: ["412ns"], ["3.2us"],
+    ["1.8ms"], ["2.4s"]. *)
+val pp_ns : int64 -> string

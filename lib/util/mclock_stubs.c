@@ -1,0 +1,17 @@
+/* Monotonic wall-clock for PROFILE timing.
+
+   The opam switch baked into the build image has no mtime package, so
+   the nanosecond monotonic clock comes straight from clock_gettime.
+   CLOCK_MONOTONIC is immune to NTP jumps, which is exactly what
+   per-clause interval timing needs. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value cypher_mclock_now_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + ts.tv_nsec);
+}

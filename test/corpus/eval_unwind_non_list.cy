@@ -1,0 +1,7 @@
+// Regression: UNWIND of a non-list, non-null operand must fail with a
+// structured eval error ("Type mismatch: expected List"), not treat the
+// scalar as a singleton list.  On the pre-fix tree this statement
+// succeeded with one row.
+// oracle: error
+// expect: eval
+UNWIND 42 AS x RETURN x

@@ -1,0 +1,8 @@
+// Regression: a FOREACH loop variable shadowing an in-scope variable
+// must be rejected at validation ("variable already declared").  On the
+// pre-fix tree the engine silently rebound the variable inside the body
+// and this statement succeeded.
+// oracle: error
+// graph: CREATE (:A {k: 1})
+// expect: validation
+MATCH (x:A) FOREACH (x IN [1, 2] | CREATE (:B {v: x}))

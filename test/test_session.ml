@@ -67,6 +67,63 @@ let session_tests =
         Session.reset s;
         Alcotest.(check int) "empty" 0 (Graph.node_count (Session.graph s));
         Alcotest.(check bool) "no tx" false (Session.in_transaction s));
+    case "three-deep nesting unwinds level by level" (fun () ->
+        let s = Session.create Graph.empty in
+        Session.begin_tx s;
+        ignore (run_ok s "CREATE (:L1)");
+        Session.begin_tx s;
+        ignore (run_ok s "CREATE (:L2)");
+        Session.begin_tx s;
+        ignore (run_ok s "CREATE (:L3)");
+        Alcotest.(check int) "depth 3" 3 (Session.depth s);
+        (match Session.rollback s with Ok () -> () | Error m -> Alcotest.fail m);
+        Alcotest.(check int) "depth 2" 2 (Session.depth s);
+        Alcotest.(check int) "L3 undone" 2 (Graph.node_count (Session.graph s));
+        (match Session.commit s with Ok () -> () | Error m -> Alcotest.fail m);
+        Alcotest.(check int) "depth 1" 1 (Session.depth s);
+        (match Session.rollback s with Ok () -> () | Error m -> Alcotest.fail m);
+        Alcotest.(check int) "all undone" 0
+          (Graph.node_count (Session.graph s));
+        Alcotest.(check int) "depth 0" 0 (Session.depth s));
+    case "rollback after a failed statement restores the snapshot" (fun () ->
+        let s = Session.create Graph.empty in
+        ignore (run_ok s "CREATE (:Keep)");
+        Session.begin_tx s;
+        ignore (run_ok s "CREATE (:Mid)");
+        (match Session.run s "MATCH (k:Keep) CREATE (k)-[:T]->(:X) DELETE k" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected statement to fail");
+        (* the failed statement itself changed nothing (statement-level
+           atomicity); rollback must still undo the rest of the tx *)
+        Alcotest.(check int) "mid kept until rollback" 2
+          (Graph.node_count (Session.graph s));
+        (match Session.rollback s with Ok () -> () | Error m -> Alcotest.fail m);
+        Alcotest.(check int) "back to snapshot" 1
+          (Graph.node_count (Session.graph s));
+        Alcotest.(check bool) "wellformed" true
+          (Graph.is_wellformed (Session.graph s)));
+    case "run surfaces update counters" (fun () ->
+        let s = Session.create Graph.empty in
+        let r = run_ok s "CREATE (:A {x: 1})-[:T]->(:B)" in
+        let st = r.Api.r_stats in
+        Alcotest.(check int) "nodes" 2 st.Cypher_core.Stats.nodes_created;
+        Alcotest.(check int) "rels" 1 st.Cypher_core.Stats.rels_created;
+        Alcotest.(check int) "props" 1 st.Cypher_core.Stats.props_set;
+        Alcotest.(check int) "labels" 2 st.Cypher_core.Stats.labels_added;
+        let r2 = run_ok s "MATCH (n) RETURN n" in
+        Alcotest.(check bool) "read-only has no updates" false
+          (Cypher_core.Stats.contains_updates r2.Api.r_stats));
+    case "run recognises EXPLAIN and PROFILE prefixes" (fun () ->
+        let s = Session.create Graph.empty in
+        ignore (run_ok s "CREATE (:A)");
+        let r = run_ok s "EXPLAIN CREATE (:B)" in
+        Alcotest.(check bool) "plan rendered" true (r.Api.r_plan <> None);
+        Alcotest.(check int) "explain does not execute" 1
+          (Graph.node_count (Session.graph s));
+        let r = run_ok s "PROFILE CREATE (:B)" in
+        Alcotest.(check bool) "profile present" true (r.Api.r_profile <> None);
+        Alcotest.(check int) "profile executes" 2
+          (Graph.node_count (Session.graph s)));
   ]
 
 (* ------------------------------------------------------------------ *)
