@@ -145,6 +145,56 @@ let q_project =
     "UNWIND range(1, 5000) AS x WITH x, x * x AS y WHERE y % 3 = 0 RETURN \
      count(*) AS n"
 
+(* durability fixtures: a statement journal of 50 CREATEs captured
+   through a real journaling session (so the recorded counter checksums
+   are exact), plus a snapshot image of the 100-node marketplace *)
+module Wal = Cypher_storage.Wal
+module Snapshot = Cypher_storage.Snapshot
+module Recovery = Cypher_storage.Recovery
+
+let wal_record =
+  {
+    Wal.src = "MATCH (u:User {id: 100007}) SET u.seen = true";
+    stats = { Stats.empty with Stats.props_set = 1 };
+    mode = Config.Atomic;
+    order = Config.Forward;
+    match_mode = Config.Isomorphic;
+  }
+
+let wal_bytes_50 =
+  let buf = Buffer.create 4096 in
+  let session = Session.create ~config:Config.revised Graph.empty in
+  Session.set_journal session
+    (Some
+       (List.iter (fun e ->
+            Buffer.add_string buf (Wal.encode (Wal.record_of_entry e)))));
+  for i = 1 to 50 do
+    match
+      Session.run session
+        (Printf.sprintf "CREATE (:A {v: %d})-[:T]->(:B {v: %d})" i (i * 2))
+    with
+    | Ok _ -> ()
+    | Error e -> failwith (Errors.to_string e)
+  done;
+  Buffer.contents buf
+
+let snapshot_100 = Snapshot.to_string market100
+
+let bench_tmp suffix =
+  let path = Filename.temp_file "cypher_bench" suffix in
+  at_exit (fun () -> try Sys.remove path with Sys_error _ -> ());
+  path
+
+(* an open journal writer per durability regime; the file grows over
+   the bench run, but appends are O(record), not O(file) *)
+let wal_writer_buffered =
+  Wal.open_writer ~durability:Config.Buffered (bench_tmp ".wal")
+
+let wal_writer_fsync =
+  Wal.open_writer ~durability:Config.Fsync (bench_tmp ".wal")
+
+let snapshot_path = bench_tmp ".cy"
+
 (* ------------------------------------------------------------------ *)
 (* Test registry                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -255,6 +305,20 @@ let tests =
        fun () ->
          Sys.opaque_identity
            (Api.run_program ~config:cfg_revised Graph.empty script));
+    (* io/* durability: journal append under both regimes, atomic
+       snapshot write (tmp + fsync + rename), and full crash recovery
+       (journal scan + checked replay, in memory) *)
+    t "io/wal-append/buffered" (fun () ->
+        Sys.opaque_identity (Wal.append wal_writer_buffered [ wal_record ]));
+    t "io/wal-append/fsync" (fun () ->
+        Sys.opaque_identity (Wal.append wal_writer_fsync [ wal_record ]));
+    t "io/snapshot-write/n=100" (fun () ->
+        Sys.opaque_identity (Snapshot.write snapshot_path market100));
+    t "io/recover/journal-50" (fun () ->
+        Sys.opaque_identity (Recovery.recover_strings ~wal:wal_bytes_50 ()));
+    t "io/recover/snapshot+journal" (fun () ->
+        Sys.opaque_identity
+          (Recovery.recover_strings ~snapshot:snapshot_100 ~wal:wal_bytes_50 ()));
     (* figures/* : the paper's exact workloads *)
     t "figures/E6-legacy-merge" (fun () ->
         Sys.opaque_identity

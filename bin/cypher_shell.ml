@@ -5,6 +5,7 @@
       cypher_shell --semantics legacy      # Cypher 9 behaviour
       cypher_shell -f script.cypher        # run a ;-separated script
       cypher_shell -f setup.cypher -i      # script, then drop into REPL
+      cypher_shell --db PATH               # durable: journal + snapshots
 
     REPL commands (everything else is executed as Cypher):
       :help                 show this help
@@ -17,14 +18,21 @@
       :save FILE            write the graph as a Cypher dump
       :load FILE            run a ;-separated Cypher script
       :begin | :commit | :rollback   transaction control
+      :compact              fold the journal into a snapshot (--db only)
       :semantics MODE       legacy | revised | permissive
       :order MODE           forward | reverse | seed:N  (legacy clauses)
 *)
 
 open Cypher_graph
 open Cypher_core
+module Store = Cypher_storage.Store
+module Recovery = Cypher_storage.Recovery
 
-type state = { session : Session.t; mutable show_stats : bool }
+type state = {
+  session : Session.t;
+  store : Store.t option;  (** present when opened with [--db] *)
+  mutable show_stats : bool;
+}
 
 let print_table t =
   if Cypher_table.Table.columns t = [] then
@@ -89,9 +97,32 @@ let order_of_string s =
 
 let help_text =
   ":help :quit :graph :stats [on|off] :clear :dot FILE :save FILE :load FILE \
-   :begin :commit :rollback :semantics legacy|revised|permissive :order \
-   forward|reverse|seed:N — prefix a statement with EXPLAIN or PROFILE \
-   to see its plan"
+   :begin :commit :rollback :compact :semantics legacy|revised|permissive \
+   :order forward|reverse|seed:N — prefix a statement with EXPLAIN or \
+   PROFILE to see its plan"
+
+(* A failed file write (unwritable path, full disk, dangling graph that
+   cannot be dumped) must report and leave the REPL running, not kill
+   it. *)
+let write_file file content =
+  match
+    Out_channel.with_open_text file (fun oc ->
+        Out_channel.output_string oc (content ()))
+  with
+  | () -> Fmt.pr "wrote %s@." file
+  | exception Sys_error m -> Fmt.epr "error: %s@." m
+  | exception Invalid_argument m -> Fmt.epr "error: %s@." m
+
+(* [:clear] on a durable session persists the cleared state immediately
+   (empty snapshot, empty journal); otherwise the dropped statements
+   would come back on the next open. *)
+let compact st =
+  match st.store with
+  | None -> Fmt.epr "error: no database open (start with --db PATH)@."
+  | Some store -> (
+      match Store.compact store st.session with
+      | Ok () -> Fmt.pr "compacted %s@." (Store.dir store)
+      | Error m -> Fmt.epr "error: %s@." m)
 
 let handle_command st line =
   match String.split_on_char ' ' (String.trim line) with
@@ -126,16 +157,16 @@ let handle_command st line =
   | [ ":clear" ] ->
       Session.reset st.session;
       print_endline "graph cleared";
+      if st.store <> None then compact st;
       Some st
   | [ ":dot"; file ] ->
-      Out_channel.with_open_text file (fun oc ->
-          Out_channel.output_string oc (Dot.to_dot (Session.graph st.session)));
-      Fmt.pr "wrote %s@." file;
+      write_file file (fun () -> Dot.to_dot (Session.graph st.session));
       Some st
   | [ ":save"; file ] ->
-      Out_channel.with_open_text file (fun oc ->
-          Out_channel.output_string oc (Dump.to_cypher (Session.graph st.session)));
-      Fmt.pr "wrote %s@." file;
+      write_file file (fun () -> Dump.to_cypher (Session.graph st.session));
+      Some st
+  | [ ":compact" ] ->
+      compact st;
       Some st
   | [ ":load"; file ] -> Some (load_file st file)
   | [ ":begin" ] ->
@@ -229,7 +260,20 @@ let interactive_arg =
   let doc = "Drop into the REPL after running $(b,--file)." in
   Arg.(value & flag & info [ "i"; "interactive" ] ~doc)
 
-let main semantics order file interactive =
+let db_arg =
+  let doc =
+    "Open (creating if needed) the durable database at $(docv): every \
+     graph-changing statement is write-ahead journalled, and the graph is \
+     recovered from snapshot + journal on startup."
+  in
+  Arg.(value & opt (some string) None & info [ "db" ] ~docv:"PATH" ~doc)
+
+let no_fsync_arg =
+  let doc = "Leave journal flushing to the OS instead of fsyncing every \
+             commit (faster, loses the durability guarantee)." in
+  Arg.(value & flag & info [ "no-fsync" ] ~doc)
+
+let main semantics order file interactive db no_fsync =
   match (semantics_of_string semantics, order_of_string order) with
   | None, _ ->
       Fmt.epr "unknown semantics %S@." semantics;
@@ -237,20 +281,39 @@ let main semantics order file interactive =
   | _, None ->
       Fmt.epr "unknown order %S@." order;
       1
-  | Some config, Some ord ->
-      let st =
-        {
-          session = Session.create ~config:(Config.with_order ord config) Graph.empty;
-          show_stats = true;
-        }
+  | Some config, Some ord -> (
+      let config = Config.with_order ord config in
+      let config =
+        if no_fsync then Config.with_durability Config.Buffered config
+        else config
       in
-      let st = match file with None -> st | Some f -> load_file st f in
-      if file = None || interactive then repl st;
-      0
+      let opened =
+        match db with
+        | None -> Ok (None, Session.create ~config Graph.empty)
+        | Some dir -> (
+            match Store.open_db ~config dir with
+            | Ok (store, session) ->
+                Fmt.pr "%s: %s@." dir (Recovery.describe (Store.recovery store));
+                Ok (Some store, session)
+            | Error m -> Error m)
+      in
+      match opened with
+      | Error m ->
+          Fmt.epr "error: %s@." m;
+          1
+      | Ok (store, session) ->
+          let st = { session; store; show_stats = true } in
+          let st = match file with None -> st | Some f -> load_file st f in
+          if file = None || interactive then repl st;
+          Option.iter Store.close store;
+          0)
 
 let cmd =
   let doc = "Interactive shell for the Cypher update-semantics engine" in
   let info = Cmd.info "cypher_shell" ~doc in
-  Cmd.v info Term.(const main $ semantics_arg $ order_arg $ file_arg $ interactive_arg)
+  Cmd.v info
+    Term.(
+      const main $ semantics_arg $ order_arg $ file_arg $ interactive_arg
+      $ db_arg $ no_fsync_arg)
 
 let () = exit (Cmd.eval' cmd)

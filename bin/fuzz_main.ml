@@ -1,10 +1,10 @@
 (* Command-line driver for the fuzzing/cross-validation subsystem.
 
-   Runs [n] generated cases through all six oracles (round-trip,
+   Runs [n] generated cases through all seven oracles (round-trip,
    planner equivalence, parallel-vs-serial byte equivalence,
    legacy/revised divergence classification, result-graph
-   well-formedness, update counters vs graph diff) and exits non-zero
-   on any failure.  With
+   well-formedness, update counters vs graph diff, durability
+   fault injection) and exits non-zero on any failure.  With
    [-corpus DIR], shrunk failures are appended as replayable corpus
    entries.  Wired to the [@fuzz] dune alias; [@par] runs the
    parallel oracle alone over the pinned seeds. *)
@@ -31,7 +31,7 @@ let () =
       ( "-oracle",
         Arg.Set_string oracle_only,
         "NAME run only one oracle \
-         (roundtrip|planner|parallel|divergence|wellformed|counters)" );
+         (roundtrip|planner|parallel|divergence|wellformed|counters|durability)" );
     ]
   in
   Arg.parse spec
@@ -66,6 +66,11 @@ let () =
              | Oracles.Unclassified d -> Error d)
          | "wellformed" -> Oracles.wellformed g q
          | "counters" -> Oracles.counters g q
+         | "durability" ->
+             let extra =
+               [ Cypher_fuzz.Gen.statement rng; Cypher_fuzz.Gen.statement rng ]
+             in
+             Oracles.durability ~extra g q
          | o -> raise (Arg.Bad ("unknown oracle " ^ o))
        in
        match outcome with
@@ -92,6 +97,7 @@ let () =
               | "planner" -> Corpus.Planner
               | "divergence" -> Corpus.Divergence
               | "counters" -> Corpus.Counters
+              | "durability" -> Corpus.Durability
               | _ -> Corpus.Wellformed
             in
             let name =

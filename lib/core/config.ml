@@ -30,12 +30,21 @@ type match_mode = Isomorphic | Homomorphic
     experiments depend on; planning never changes the row *set*. *)
 type planner = On | Off
 
+(** Journal durability for sessions opened on a database path
+    ([Cypher_storage.Store]).  [Fsync] forces the write-ahead journal to
+    stable storage on every outermost commit; [Buffered] leaves flushing
+    to the OS (fast, loses the tail of the journal on a machine crash —
+    never on a process crash).  Irrelevant to purely in-memory
+    sessions. *)
+type durability = Fsync | Buffered
+
 type t = {
   mode : mode;
   order : order;
   match_mode : match_mode;
   planner : planner;
   parallelism : int;
+  durability : durability;
   collect_stats : bool;
       (** collect per-statement update counters ({!Stats}); on by
           default — the disabled path exists for benchmarking the
@@ -66,13 +75,13 @@ let default_parallelism =
     naive matching (its order-sensitive behaviours stay reproducible). *)
 let cypher9 =
   { mode = Legacy; order = Forward; match_mode = Isomorphic; planner = Off;
-    parallelism = default_parallelism; collect_stats = true;
+    parallelism = default_parallelism; durability = Fsync; collect_stats = true;
     dialect = Cypher_ast.Validate.Cypher9; params = Smap.empty }
 
 (** The paper's revised language: atomic semantics, Figure 10 grammar. *)
 let revised =
   { mode = Atomic; order = Forward; match_mode = Isomorphic; planner = On;
-    parallelism = default_parallelism; collect_stats = true;
+    parallelism = default_parallelism; durability = Fsync; collect_stats = true;
     dialect = Cypher_ast.Validate.Revised; params = Smap.empty }
 
 (** Everything the parser accepts, atomic semantics: used to experiment
@@ -80,13 +89,14 @@ let revised =
     COLLAPSE). *)
 let permissive =
   { mode = Atomic; order = Forward; match_mode = Isomorphic; planner = On;
-    parallelism = default_parallelism; collect_stats = true;
+    parallelism = default_parallelism; durability = Fsync; collect_stats = true;
     dialect = Cypher_ast.Validate.Permissive; params = Smap.empty }
 
 let with_order order t = { t with order }
 let with_match_mode match_mode t = { t with match_mode }
 let with_planner planner t = { t with planner }
 let with_parallelism parallelism t = { t with parallelism = max 0 parallelism }
+let with_durability durability t = { t with durability }
 let with_stats collect_stats t = { t with collect_stats }
 let with_params params t = { t with params }
 

@@ -28,6 +28,12 @@ type match_mode = Isomorphic | Homomorphic
     experiments depend on; planning never changes the row *set*. *)
 type planner = On | Off
 
+(** Journal durability for sessions opened on a database path
+    ([Cypher_storage.Store]).  [Fsync] forces the write-ahead journal to
+    stable storage on every outermost commit; [Buffered] leaves flushing
+    to the OS.  Irrelevant to purely in-memory sessions. *)
+type durability = Fsync | Buffered
+
 type t = {
   mode : mode;
   order : order;
@@ -41,6 +47,7 @@ type t = {
           enumeration.  Update application always stays sequential, and
           parallel output is byte-identical to serial output (see
           DESIGN.md). *)
+  durability : durability;
   collect_stats : bool;
       (** Collect per-statement update counters ({!Stats}); on by
           default.  The disabled path exists so the collection overhead
@@ -76,6 +83,9 @@ val with_planner : planner -> t -> t
 (** [with_parallelism n t] sets the read-phase fan-out width (clamped
     at 0). *)
 val with_parallelism : int -> t -> t
+
+(** [with_durability d t] sets the journal durability regime. *)
+val with_durability : durability -> t -> t
 
 (** [with_stats b t] toggles update-counter collection. *)
 val with_stats : bool -> t -> t

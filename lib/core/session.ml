@@ -10,35 +10,97 @@
     store is immutable, snapshots are O(1).
 
     Transactions nest: each [begin_tx] pushes a snapshot, [commit] and
-    [rollback] pop one. *)
+    [rollback] pop one.
+
+    A session may carry a *journal sink* ([set_journal]) — the hook the
+    durable storage layer ([Cypher_storage.Store]) uses to write-ahead
+    every graph-changing statement.  Journaling is transactional:
+    outside a transaction each statement flushes immediately (and the
+    write-ahead happens *before* the in-memory graph advances, so a
+    failed append leaves the session exactly as it was); inside a
+    transaction entries buffer and flush only at the *outermost* commit;
+    rollback discards the buffered entries without journaling
+    anything. *)
 
 open Cypher_graph
+
+(** One journaled statement: its source text, the net update counters
+    its application produced, and the configuration it ran under. *)
+type journal_entry = {
+  je_src : string;
+  je_stats : Stats.t;
+  je_config : Config.t;
+}
 
 type t = {
   mutable graph : Graph.t;
   mutable config : Config.t;
   mutable snapshots : Graph.t list;
+  mutable journal : (journal_entry list -> unit) option;
+  mutable pending : journal_entry list list;
+      (** one buffer per open transaction, innermost first; each buffer
+          holds its entries newest-first *)
 }
 
-let create ?(config = Config.revised) graph = { graph; config; snapshots = [] }
+let create ?(config = Config.revised) graph =
+  { graph; config; snapshots = []; journal = None; pending = [] }
 
 let graph s = s.graph
 let config s = s.config
 let set_config s config = s.config <- config
+let set_journal s sink = s.journal <- sink
+let journal_attached s = s.journal <> None
 
 (** Transaction depth: 0 outside any transaction. *)
 let depth s = List.length s.snapshots
 
 let in_transaction s = s.snapshots <> []
 
-let begin_tx s = s.snapshots <- s.graph :: s.snapshots
+let begin_tx s =
+  s.snapshots <- s.graph :: s.snapshots;
+  if s.journal <> None then s.pending <- [] :: s.pending
+
+let flush s entries =
+  match (s.journal, entries) with
+  | None, _ | _, [] -> Ok ()
+  | Some sink, entries -> (
+      try
+        sink entries;
+        Ok ()
+      with e -> Error ("journal append failed: " ^ Printexc.to_string e))
 
 let commit s =
   match s.snapshots with
   | [] -> Error "no transaction in progress"
-  | _ :: rest ->
-      s.snapshots <- rest;
-      Ok ()
+  | snapshot :: rest -> (
+      match (s.journal, s.pending) with
+      | None, _ ->
+          s.snapshots <- rest;
+          Ok ()
+      | Some _, buf :: outer :: pending ->
+          (* nested commit: fold the entries into the enclosing
+             transaction; only the outermost commit reaches the sink *)
+          s.snapshots <- rest;
+          s.pending <- (buf @ outer) :: pending;
+          Ok ()
+      | Some _, [ buf ] -> (
+          match flush s (List.rev buf) with
+          | Ok () ->
+              s.snapshots <- rest;
+              s.pending <- [];
+              Ok ()
+          | Error m ->
+              (* the journal is the durability contract: a commit whose
+                 entries cannot be written aborts, restoring the
+                 transaction's snapshot *)
+              s.graph <- snapshot;
+              s.snapshots <- rest;
+              s.pending <- [];
+              Error m)
+      | Some _, [] ->
+          (* journal attached mid-transaction: nothing was buffered *)
+          s.snapshots <- rest;
+          Ok ())
 
 let rollback s =
   match s.snapshots with
@@ -46,28 +108,58 @@ let rollback s =
   | snapshot :: rest ->
       s.graph <- snapshot;
       s.snapshots <- rest;
+      (match s.pending with [] -> () | _ :: p -> s.pending <- p);
       Ok ()
+
+(* Journaling needs the update counters to decide whether a statement
+   changed the graph; when a sink is attached, collection is forced on
+   regardless of the configured [collect_stats]. *)
+let effective_config s =
+  if s.journal <> None then Config.with_stats true s.config else s.config
+
+(** Records a successful statement into the journal (write-ahead when
+    outside a transaction) and advances the session graph.  Read-only
+    statements — no net update — journal nothing. *)
+let advance s ~src (r : Api.result) =
+  if s.journal = None || not (Stats.contains_updates r.Api.r_stats) then begin
+    s.graph <- r.Api.r_graph;
+    Ok r
+  end
+  else
+    let entry = { je_src = src; je_stats = r.Api.r_stats; je_config = s.config } in
+    match s.pending with
+    | buf :: rest ->
+        s.pending <- (entry :: buf) :: rest;
+        s.graph <- r.Api.r_graph;
+        Ok r
+    | [] -> (
+        match flush s [ entry ] with
+        | Ok () ->
+            s.graph <- r.Api.r_graph;
+            Ok r
+        | Error m -> Error (Errors.Update_error m))
 
 (** [run s src] executes one statement against the session graph —
     recognising EXPLAIN / PROFILE prefixes — and returns the full
     {!Api.result} (table, update counters, optional plan/profile); the
     graph advances only on success (statement-level atomicity). *)
 let run s src : (Api.result, Errors.t) result =
-  match Api.run_string_full ~config:s.config s.graph src with
-  | Ok r ->
-      s.graph <- r.Api.r_graph;
-      Ok r
+  match Api.run_string_full ~config:(effective_config s) s.graph src with
+  | Ok r -> advance s ~src r
   | Error e -> Error e
 
-(** [run_query s q] is {!run} for a pre-parsed query. *)
+(** [run_query s q] is {!run} for a pre-parsed query.  Journaled source
+    text is the pretty-printed statement (print/parse round-tripping is
+    oracle 1 of the fuzz suite). *)
 let run_query ?prefix s q : (Api.result, Errors.t) result =
-  match Api.run_query_full ~config:s.config ?prefix s.graph q with
-  | Ok r ->
-      s.graph <- r.Api.r_graph;
-      Ok r
+  match Api.run_query_full ~config:(effective_config s) ?prefix s.graph q with
+  | Ok r -> advance s ~src:(Cypher_ast.Pretty.query_to_string q) r
   | Error e -> Error e
 
-(** [reset s] drops the graph and any open transactions. *)
+(** [reset s] drops the graph and any open transactions (buffered
+    journal entries included — the caller owning the sink is responsible
+    for persisting the cleared state, e.g. [Store.compact]). *)
 let reset s =
   s.graph <- Graph.empty;
-  s.snapshots <- []
+  s.snapshots <- [];
+  s.pending <- []

@@ -5,23 +5,53 @@
     adds explicit transaction boundaries: {!begin_tx} snapshots the
     graph, {!rollback} restores the snapshot, {!commit} discards it.
     Because the store is immutable, snapshots are O(1).  Transactions
-    nest. *)
+    nest.
+
+    A session may carry a journal sink ({!set_journal}): every
+    graph-changing statement is handed to the sink *before* the
+    in-memory graph advances (write-ahead).  Inside transactions entries
+    buffer and reach the sink only at the outermost {!commit};
+    {!rollback} journals nothing.  The durable storage layer
+    ([Cypher_storage.Store]) builds on this hook. *)
 
 open Cypher_graph
 
 type t
+
+(** One journaled statement: source text, the net update counters its
+    application produced, and the configuration it ran under. *)
+type journal_entry = {
+  je_src : string;
+  je_stats : Stats.t;
+  je_config : Config.t;
+}
 
 val create : ?config:Config.t -> Graph.t -> t
 val graph : t -> Graph.t
 val config : t -> Config.t
 val set_config : t -> Config.t -> unit
 
+(** [set_journal s sink] attaches (or, with [None], detaches) the
+    journal sink.  While attached, update-counter collection is forced
+    on (the counters decide what to journal).  A sink that raises makes
+    the triggering statement or commit fail without advancing the
+    graph. *)
+val set_journal : t -> (journal_entry list -> unit) option -> unit
+
+val journal_attached : t -> bool
+
 (** Transaction depth: 0 outside any transaction. *)
 val depth : t -> int
 
 val in_transaction : t -> bool
 val begin_tx : t -> unit
+
+(** [commit s] pops one transaction level.  At the outermost level the
+    buffered journal entries are flushed to the sink first; if the flush
+    fails, the transaction is rolled back to its snapshot and the error
+    returned (all-or-nothing durability). *)
 val commit : t -> (unit, string) result
+
 val rollback : t -> (unit, string) result
 
 (** [run s src] executes one statement against the session graph —
@@ -38,5 +68,6 @@ val run_query :
   Cypher_ast.Ast.query ->
   (Api.result, Errors.t) result
 
-(** [reset s] drops the graph and any open transactions. *)
+(** [reset s] drops the graph, any open transactions, and any buffered
+    journal entries. *)
 val reset : t -> unit

@@ -134,9 +134,13 @@ let table_of_string ?(typed = true) src : Table.t =
 
 let table_of_file ?typed path : Table.t =
   let ic = open_in path in
-  let len = in_channel_length ic in
-  let content = really_input_string ic len in
-  close_in ic;
+  let content =
+    (* the channel must not leak when reading (or the length probe)
+       raises — e.g. the file shrinking underneath us *)
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
   table_of_string ?typed content
 
 (** [to_string table] renders a driving table back to CSV (strings are

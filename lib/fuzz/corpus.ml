@@ -6,7 +6,7 @@
 
     {v
     // oracle: roundtrip | planner | parallel | divergence | wellformed
-    //         | counters | eval | error
+    //         | counters | dump | durability | eval | error
     // index: A id                     (zero or more; property indexes)
     // graph: CREATE (:A {k: 1})       (zero or more; setup statements)
     // match: homomorphic              ('parallel' oracle only; optional)
@@ -38,6 +38,13 @@ type oracle =
   | Divergence
   | Wellformed
   | Counters  (** update counters vs graph diff ({!Oracles.counters}) *)
+  | Dump
+      (** the setup graph must survive dump → reload isomorphically
+          ({!Oracles.dump_roundtrip}); the statement runs first to let
+          entries build adversarial graphs beyond plain CREATE *)
+  | Durability
+      (** journal + snapshot fault injection over the statement as a
+          one-statement workload ({!Oracles.durability}) *)
   | Eval of string  (** expected canonical rendering of the result table *)
   | Expect_error of string
       (** the statement must fail, with this {!Oracles.kind_name} *)
@@ -123,6 +130,8 @@ let parse_entry ~name text : (entry, string) result =
     | Some "divergence", _ -> entry Divergence
     | Some "wellformed", _ -> entry Wellformed
     | Some "counters", _ -> entry Counters
+    | Some "dump", _ -> entry Dump
+    | Some "durability", _ -> entry Durability
     | Some "eval", Some expected -> entry (Eval expected)
     | Some "eval", None -> Error (name ^ ": eval entry without // expect:")
     | Some "error", Some kind -> entry (Expect_error kind)
@@ -137,6 +146,8 @@ let oracle_keyword = function
   | Divergence -> "divergence"
   | Wellformed -> "wellformed"
   | Counters -> "counters"
+  | Dump -> "dump"
+  | Durability -> "durability"
   | Eval _ -> "eval"
   | Expect_error _ -> "error"
 
@@ -296,6 +307,15 @@ let check e : (unit, string) result =
       Oracles.parallel_equivalence ~match_mode g q
   | Wellformed -> Oracles.wellformed g q
   | Counters -> Oracles.counters g q
+  | Dump -> (
+      (* run the statement to build the graph under test, then check the
+         dump round-trip on the result *)
+      match Api.run_query ~config:Config.permissive g q with
+      | Error err ->
+          Error (Printf.sprintf "%s: execution failed: %s" e.name
+                   (Errors.to_string err))
+      | Ok o -> Oracles.dump_roundtrip o.Api.graph)
+  | Durability -> Oracles.durability g q
   | Divergence -> (
       match Oracles.divergence g q with
       | Oracles.Agree | Oracles.Classified _ -> Ok ()

@@ -26,7 +26,16 @@
        structural diff of the input and output graphs, under both
        regimes.  The engine computes counters *inside* the update
        modules (net-of-cancellation identity tracking); the oracle
-       recomputes them from the outside and the two must agree. *)
+       recomputes them from the outside and the two must agree.
+    7. {!durability}: crash-recovery fault injection.  The workload runs
+       through a journaling session against an in-memory journal; the
+       oracle then checks that (a) the snapshot image reloads
+       isomorphically (dump round-trip), (b) full recovery reproduces
+       the live graph, (c) replay of every record-count prefix lands on
+       the corresponding statement-boundary graph, and (d) truncating
+       the journal at {e every byte} and corrupting {e every byte}
+       yields precisely-reported damage and recovery to a statement
+       boundary — never a crash, never a silently different graph. *)
 
 open Cypher_ast.Ast
 open Cypher_util.Maps
@@ -546,6 +555,204 @@ let indexes_agree (g : Graph.t) (reference : Graph.t) : (unit, string) result =
                 (Value.to_string v)))
         probe_values)
     (Graph.prop_index_keys g)
+
+(* ------------------------------------------------------------------ *)
+(* Oracle 7: durability / crash-recovery fault injection              *)
+(* ------------------------------------------------------------------ *)
+
+module Session = Cypher_core.Session
+module Wal = Cypher_storage.Wal
+module Snapshot = Cypher_storage.Snapshot
+module Recovery = Cypher_storage.Recovery
+
+let durability_config = { Config.permissive with parallelism = 0 }
+
+(** [dump_roundtrip g] checks the {!Cypher_graph.Dump} contract directly:
+    the snapshot image of [g] (indexes + dump script) reloads to an
+    isomorphic graph with the same registered indexes. *)
+let dump_roundtrip (g : Graph.t) : (unit, string) result =
+  match Snapshot.parse (Snapshot.to_string g) with
+  | Error e -> Error ("snapshot image does not reload: " ^ e)
+  | Ok g' ->
+      let* () =
+        check (Iso.isomorphic g g') (fun () ->
+            "snapshot reload is not isomorphic to the original graph")
+      in
+      check
+        (Graph.prop_index_keys g = Graph.prop_index_keys g')
+        (fun () -> "snapshot reload lost registered property indexes")
+
+let corrupt_byte s i =
+  String.mapi
+    (fun j c -> if j = i then Char.chr ((Char.code c + 1) land 0xff) else c)
+    s
+
+(** Oracle 7.  Runs [q :: extra] through a journaling session on [g],
+    journalling into an in-memory buffer, then fault-injects the
+    snapshot image and the journal bytes exhaustively.  Every byte-level
+    truncation and every single-byte corruption of the journal must be
+    detected at the right offset and recover to a statement-boundary
+    graph; every single-byte corruption of the snapshot must be
+    rejected.  Nothing in the storage stack may raise. *)
+let durability ?(extra = []) (g : Graph.t) q : (unit, string) result =
+  let snapshot_img = Snapshot.to_string g in
+  let* () = dump_roundtrip g in
+  let* base =
+    Result.map_error (fun e -> "snapshot image does not reload: " ^ e)
+      (Snapshot.parse snapshot_img)
+  in
+  (* run the workload, journalling in memory; failed statements are part
+     of the workload (they must journal nothing) *)
+  let wal_buf = Buffer.create 256 in
+  let session = Session.create ~config:durability_config g in
+  Session.set_journal session
+    (Some
+       (fun entries ->
+         List.iter
+           (fun e -> Buffer.add_string wal_buf (Wal.encode (Wal.record_of_entry e)))
+           entries));
+  let boundaries = ref [ g ] in
+  List.iter
+    (fun q ->
+      let before = Buffer.length wal_buf in
+      (match Session.run_query session q with Ok _ | Error _ -> ());
+      if Buffer.length wal_buf > before then
+        boundaries := Session.graph session :: !boundaries)
+    (q :: extra);
+  let live = Session.graph session in
+  let wal = Buffer.contents wal_buf in
+  let len = String.length wal in
+  let boundaries = Array.of_list (List.rev !boundaries) in
+  let records, clean_len, torn0 = Wal.scan_string wal in
+  let n = List.length records in
+  let* () =
+    check
+      (torn0 = None && clean_len = len)
+      (fun () -> "freshly written journal does not scan cleanly")
+  in
+  let* () =
+    check
+      (n = Array.length boundaries - 1)
+      (fun () ->
+        Fmt.str "journal has %d record(s) but the session journalled %d" n
+          (Array.length boundaries - 1))
+  in
+  (* full recovery reproduces the live graph *)
+  let* () =
+    match Recovery.recover_strings ~snapshot:snapshot_img ~wal () with
+    | Error e -> Error ("full recovery failed: " ^ e)
+    | Ok r ->
+        let* () =
+          check (r.Recovery.torn = None) (fun () ->
+              "full recovery reported a torn tail on an undamaged journal")
+        in
+        check
+          (Iso.isomorphic r.Recovery.graph live)
+          (fun () -> "recovered graph is not isomorphic to the live graph")
+  in
+  (* replay determinism: every record-count prefix lands exactly on the
+     corresponding statement-boundary graph *)
+  let* () =
+    iter_check
+      (fun k ->
+        let prefix = List.filteri (fun i _ -> i < k) records in
+        match Recovery.replay base prefix with
+        | Error e -> Error (Fmt.str "replay of %d-record prefix failed: %s" k e)
+        | Ok gk ->
+            check
+              (Iso.isomorphic gk boundaries.(k))
+              (fun () ->
+                Fmt.str
+                  "replay of %d-record prefix is not isomorphic to the \
+                   statement boundary"
+                  k))
+      (List.init (n + 1) Fun.id)
+  in
+  (* byte offset where record i starts; offsets.(n) = total length *)
+  let offsets = Array.make (n + 1) 0 in
+  List.iteri
+    (fun i r -> offsets.(i + 1) <- offsets.(i) + String.length (Wal.encode r))
+    records;
+  let* () =
+    check (offsets.(n) = len) (fun () -> "re-encoded records do not tile the journal")
+  in
+  (* the record a byte offset falls in *)
+  let record_of_byte i =
+    let k = ref 0 in
+    while offsets.(!k + 1) <= i do incr k done;
+    !k
+  in
+  (* truncation at every byte: the scan must keep exactly the whole
+     records before the cut and report the tear at the right offset *)
+  let* () =
+    iter_check
+      (fun cut ->
+        let records', clean', torn' = Wal.scan_string (String.sub wal 0 cut) in
+        (* records fully contained in the first [cut] bytes *)
+        let k = ref 0 in
+        while !k < n && offsets.(!k + 1) <= cut do incr k done;
+        let k = !k in
+        let boundary = offsets.(k) = cut in
+        let* () =
+          check
+            (List.length records' = k)
+            (fun () ->
+              Fmt.str "truncation at %d kept %d record(s), expected %d" cut
+                (List.length records') k)
+        in
+        let* () =
+          check (clean' = offsets.(k)) (fun () ->
+              Fmt.str "truncation at %d: clean prefix %d, expected %d" cut
+                clean' offsets.(k))
+        in
+        match (torn', boundary) with
+        | None, true -> Ok ()
+        | Some t, false ->
+            check (t.Wal.t_offset = offsets.(k)) (fun () ->
+                Fmt.str "truncation at %d reported the tear at %d, expected %d"
+                  cut t.Wal.t_offset offsets.(k))
+        | None, false ->
+            Error (Fmt.str "truncation at %d (mid-record) went unreported" cut)
+        | Some t, true ->
+            Error
+              (Fmt.str
+                 "truncation at %d (a record boundary) falsely reported: %s"
+                 cut t.Wal.t_reason))
+      (List.init len Fun.id)
+  in
+  (* corruption of every journal byte: records before the damaged one
+     survive untouched, the damaged one is rejected at its offset *)
+  let* () =
+    iter_check
+      (fun i ->
+        let records', clean', torn' = Wal.scan_string (corrupt_byte wal i) in
+        let k = record_of_byte i in
+        let* () =
+          check
+            (List.length records' = k && clean' = offsets.(k))
+            (fun () ->
+              Fmt.str
+                "corrupting byte %d kept %d record(s) / %d bytes, expected %d \
+                 / %d"
+                i (List.length records') clean' k offsets.(k))
+        in
+        match torn' with
+        | Some t when t.Wal.t_offset = offsets.(k) -> Ok ()
+        | Some t ->
+            Error
+              (Fmt.str "corrupting byte %d reported offset %d, expected %d" i
+                 t.Wal.t_offset offsets.(k))
+        | None -> Error (Fmt.str "corrupting byte %d went undetected" i))
+      (List.init len Fun.id)
+  in
+  (* corruption of every snapshot byte must be rejected outright *)
+  iter_check
+    (fun i ->
+      match Snapshot.parse (corrupt_byte snapshot_img i) with
+      | Error _ -> Ok ()
+      | Ok _ ->
+          Error (Fmt.str "corrupting snapshot byte %d went undetected" i))
+    (List.init (String.length snapshot_img) Fun.id)
 
 let wellformed g q : (unit, string) result =
   match run revised_planned g q with

@@ -2,8 +2,33 @@
 
     [to_cypher g] produces a single CREATE statement that rebuilds [g]
     (up to entity ids) when executed on the empty graph — the repository
-    analogue of a database dump.  Identifiers that are not plain are
-    backtick-quoted; property values print as Cypher literals. *)
+    analogue of a database dump, and the substrate of snapshot files
+    (see [Cypher_storage.Snapshot]).
+
+    The dump is *round-trip exact*: dump → parse → execute on the empty
+    graph yields a graph isomorphic to the input ({!Iso.isomorphic}),
+    for every storable graph.  That demands more care than pretty
+    printing:
+
+    - floats print in a reparse-exact form ([%.17g] fallback), with
+      [nan]/[inf] — which have no Cypher literal — emitted as the
+      constant expressions [(0.0 / 0.0)] and [(1.0 / 0.0)];
+    - [min_int] has no literal either (the lexer only sees the unsigned
+      digits, which overflow): it dumps as [(-4611686018427387903 - 1)];
+    - identifiers that are not plain are backtick-quoted with embedded
+      backticks doubled;
+    - nested map keys are quoted like top-level ones;
+    - nodes are emitted in id order and relationships after them, also
+      in id order, so re-execution assigns fresh ids in the *same
+      relative order* — the rebuilt graph is isomorphic under a
+      monotone id mapping, which keeps statement replay on top of a
+      reloaded snapshot deterministic (see DESIGN.md).
+
+    Two graph shapes cannot be serialised and raise [Invalid_argument]:
+    dangling relationships (only reachable through the legacy
+    force-delete mid-statement; no Cypher script can recreate them) and
+    entity-valued properties (which the engine refuses to store in the
+    first place). *)
 
 open Cypher_util.Maps
 
@@ -14,12 +39,55 @@ let is_plain_ident s =
        (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
        s
 
-let quote_ident s = if is_plain_ident s then s else "`" ^ s ^ "`"
+let quote_ident s =
+  if is_plain_ident s then s
+  else
+    (* a backtick inside the identifier is escaped by doubling it *)
+    "`" ^ String.concat "``" (String.split_on_char '`' s) ^ "`"
+
+(* [%.12g] first (shorter and usually exact), [%.17g] when the short
+   form does not reparse to the same float *)
+let float_literal f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else
+    let short = Printf.sprintf "%.12g" f in
+    if float_of_string short = f then short else Printf.sprintf "%.17g" f
+
+(** A Cypher expression that evaluates back to exactly [v].  Raises
+    [Invalid_argument] on entity references ([Node]/[Rel]/[Path]), which
+    are identities into a particular graph, not storable values. *)
+let rec value_literal (v : Value.t) : string =
+  match v with
+  | Value.Null -> "null"
+  | Value.Bool b -> if b then "true" else "false"
+  | Value.Int i ->
+      if i = min_int then Printf.sprintf "(-%d - 1)" max_int
+      else string_of_int i
+  | Value.Float f ->
+      if Float.is_nan f then "(0.0 / 0.0)"
+      else if f = Float.infinity then "(1.0 / 0.0)"
+      else if f = Float.neg_infinity then "(-1.0 / 0.0)"
+      else float_literal f
+  | Value.String s -> "'" ^ Value.escape_string s ^ "'"
+  | Value.List l -> "[" ^ String.concat ", " (List.map value_literal l) ^ "]"
+  | Value.Map m ->
+      "{"
+      ^ String.concat ", "
+          (List.map
+             (fun (k, x) -> quote_ident k ^ ": " ^ value_literal x)
+             (Smap.bindings m))
+      ^ "}"
+  | Value.Node _ | Value.Rel _ | Value.Path _ ->
+      invalid_arg
+        ("Dump.to_cypher: entity reference " ^ Value.to_string v
+       ^ " is not a storable property value")
 
 let props_fragment props =
   if Props.is_empty props then ""
   else
-    let pair (k, v) = Printf.sprintf "%s: %s" (quote_ident k) (Value.to_string v) in
+    let pair (k, v) =
+      Printf.sprintf "%s: %s" (quote_ident k) (value_literal v)
+    in
     " {" ^ String.concat ", " (List.map pair (Props.bindings props)) ^ "}"
 
 let node_fragment (n : Graph.node) =
@@ -35,8 +103,20 @@ let rel_fragment (r : Graph.rel) =
     r.Graph.tgt
 
 (** [to_cypher g] is a Cypher script rebuilding [g]; empty for the empty
-    graph. *)
+    graph.
+    @raise Invalid_argument when [g] has dangling relationships (a
+    Cypher script cannot recreate them — an unbound endpoint variable
+    would silently create a fresh blank node instead). *)
 let to_cypher (g : Graph.t) : string =
+  (match Graph.dangling_rels g with
+  | [] -> ()
+  | rels ->
+      invalid_arg
+        (Printf.sprintf
+           "Dump.to_cypher: graph has %d dangling relationship(s) [%s]"
+           (List.length rels)
+           (String.concat ", "
+              (List.map (fun (r : Graph.rel) -> string_of_int r.Graph.r_id) rels))));
   let fragments =
     List.map node_fragment (Graph.nodes g)
     @ List.map rel_fragment (Graph.rels g)

@@ -1,8 +1,23 @@
 (** Serialisation of a property graph to an equivalent Cypher script.
 
     [to_cypher g] produces a single CREATE statement that rebuilds [g]
-    (up to entity ids) when executed on the empty graph — the repository
-    analogue of a database dump.  Round-trip (dump, then execute) is
-    property-tested to yield an isomorphic graph. *)
+    (up to entity ids, under a monotone id mapping) when executed on the
+    empty graph — the repository analogue of a database dump and the
+    body of snapshot files.  Round-trip exactness (dump → parse →
+    execute → {!Iso.isomorphic}) holds for every storable graph and is
+    fuzz-tested; see DESIGN.md. *)
 
+(** @raise Invalid_argument on a graph with dangling relationships or
+    entity-valued properties — neither is expressible as a Cypher
+    script. *)
 val to_cypher : Graph.t -> string
+
+(** [value_literal v] is a Cypher expression evaluating back to exactly
+    [v] (floats reparse bit-exactly; [nan]/[±inf] and [min_int], which
+    have no literals, render as constant expressions).
+    @raise Invalid_argument on [Node]/[Rel]/[Path] values. *)
+val value_literal : Value.t -> string
+
+(** [quote_ident s] backtick-quotes [s] unless it is a plain identifier;
+    embedded backticks are doubled. *)
+val quote_ident : string -> string

@@ -36,7 +36,7 @@ let check_iso ~expected g =
 let run_ok config g src =
   match Api.run_string ~config g src with
   | Ok o -> o
-  | Error e -> failwith (Errors.to_string e)
+  | Error e -> raise (Errors.Error e)
 
 (* ------------------------------------------------------------------ *)
 (* E1: Queries (1)-(4) on the Figure 1 marketplace                    *)

@@ -38,9 +38,9 @@ let create_instance g0 g row (patterns : pattern list) =
         match Record.find row v with
         | Value.Node id -> (g, row, id)
         | v ->
-            failwith
-              ("reference: bound merge variable is not a node: "
-              ^ Value.to_string v))
+            Cypher_core.Errors.update_error
+              "reference: bound merge variable is not a node: %s"
+              (Value.to_string v))
     | _ ->
         let props =
           List.fold_left

@@ -81,6 +81,12 @@ let lex_backtick_ident st =
   let buf = Buffer.create 8 in
   let rec loop () =
     match peek st with
+    | Some '`' when peek2 st = Some '`' ->
+        (* doubled backtick: a literal backtick inside the identifier *)
+        Buffer.add_char buf '`';
+        advance st;
+        advance st;
+        loop ()
     | Some '`' -> advance st
     | Some c ->
         Buffer.add_char buf c;
@@ -123,7 +129,13 @@ let lex_number st =
   in
   let text = String.sub st.src start (st.pos - start) in
   if is_float then Token.Float (float_of_string text)
-  else Token.Int (int_of_string text)
+  else
+    (* [int_of_string] raises on literals beyond [max_int] (the lexer
+       only ever sees the unsigned digits; unary minus is the parser's),
+       which must surface as a lexical error, not an exception *)
+    match int_of_string_opt text with
+    | Some n -> Token.Int n
+    | None -> fail st (Printf.sprintf "integer literal %s out of range" text)
 
 let lex_string st quote =
   advance st (* opening quote *);

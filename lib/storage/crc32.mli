@@ -1,0 +1,9 @@
+(** CRC-32 (IEEE 802.3, reflected): the frame checksum of the journal
+    and the snapshot header.  Detects all burst errors up to 32 bits —
+    in particular any single corrupted byte. *)
+
+(** [digest s] is the CRC-32 of all of [s]. *)
+val digest : string -> int
+
+(** Zero-padded lowercase hex, 8 digits. *)
+val to_hex : int -> string

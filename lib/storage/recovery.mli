@@ -1,0 +1,42 @@
+(** Crash recovery: snapshot load + checked journal replay.  Torn or
+    corrupt journal tails are detected by the frame CRC, reported
+    precisely, and excluded; each replayed record's update counters must
+    match the journaled ones (replay is checked, not trusted). *)
+
+open Cypher_core
+open Cypher_graph
+
+(** The outcome of a successful recovery. *)
+type t = {
+  graph : Graph.t;  (** the recovered graph *)
+  replayed : int;  (** journal records re-executed *)
+  snapshot_loaded : bool;
+  clean_len : int;  (** byte length of the journal's valid prefix *)
+  torn : Wal.torn option;
+      (** damage found at the journal tail, if any; the bytes from
+          [t_offset] on were not replayed *)
+  dropped : int;  (** journal bytes discarded after the tear *)
+}
+
+(** The configuration a journal record replays under: the semantics
+    recorded in the record, permissive dialect, counters forced on. *)
+val config_of_record : Wal.record -> Config.t
+
+(** [replay base records] re-executes [records] in order on top of
+    [base], verifying each record's counter checksum.  [Error] on a
+    statement failure or checksum mismatch (replay diverged from the
+    original execution). *)
+val replay : Graph.t -> Wal.record list -> (Graph.t, string) result
+
+(** [recover_strings ?snapshot ~wal ()] is recovery over in-memory
+    images (the fault-injection surface of fuzz oracle 7): [snapshot]
+    a {!Snapshot.to_string} image, [wal] raw journal bytes. *)
+val recover_strings : ?snapshot:string -> wal:string -> unit -> (t, string) result
+
+(** [recover_files ~snapshot_path ~wal_path] is recovery from disk;
+    missing files mean an empty snapshot / journal. *)
+val recover_files :
+  snapshot_path:string -> wal_path:string -> (t, string) result
+
+(** One-line human summary of a recovery. *)
+val describe : t -> string

@@ -1,0 +1,162 @@
+(** Snapshot files: a checksummed, versioned image of a graph.
+
+    A snapshot is the [Dump.to_cypher] script of the graph — a single
+    CREATE statement rebuilding it up to entity ids — prefixed by the
+    registered property indexes and a header with entity counts and a
+    CRC-32 of the body:
+
+    {v
+    #cypher-snapshot v1 nodes=<n> rels=<m> crc=<crc32-hex>\n
+    // index: <label> <key>\n        (zero or more)
+    CREATE ...;\n
+    v}
+
+    Loading re-registers the indexes on the empty graph and executes the
+    script through the ordinary [Api]; because the dump emits entities
+    in id order, the rebuilt graph is isomorphic to the original under a
+    monotone id mapping, which keeps journal replay on top of it
+    deterministic (see DESIGN.md).  Files are written to a temporary
+    sibling and renamed into place, so a crash mid-snapshot leaves the
+    previous snapshot intact. *)
+
+open Cypher_core
+open Cypher_graph
+
+let version_tag = "#cypher-snapshot v1"
+
+(* Replay is semantics-independent — the body is a single CREATE — so
+   any dialect that parses it will do; [permissive] accepts every dump
+   the engine can emit.  Counters and parallel fan-out are pure
+   overhead here. *)
+let replay_config =
+  Config.with_stats false (Config.with_parallelism 0 Config.permissive)
+
+let index_line (label, key) = Printf.sprintf "// index: %s %s" label key
+
+let parse_index_line line =
+  match String.split_on_char ' ' line with
+  | [ "//"; "index:"; label; key ] -> Some (label, key)
+  | _ -> None
+
+(** [to_string g] renders the snapshot image of [g].
+    @raise Invalid_argument on a graph with dangling relationships
+    (see {!Dump.to_cypher}). *)
+let to_string (g : Graph.t) : string =
+  let body =
+    String.concat ""
+      (List.map (fun ik -> index_line ik ^ "\n") (Graph.prop_index_keys g))
+    ^ Dump.to_cypher g
+  in
+  Printf.sprintf "%s nodes=%d rels=%d crc=%s\n%s" version_tag
+    (List.length (Graph.nodes g))
+    (List.length (Graph.rels g))
+    (Crc32.to_hex (Crc32.digest body))
+    body
+
+(** [parse s] validates and executes a snapshot image, returning the
+    rebuilt graph.  Never raises: version/checksum/count mismatches and
+    script failures all come back as [Error]. *)
+let parse (s : string) : (Graph.t, string) result =
+  let header, body =
+    match String.index_opt s '\n' with
+    | Some i ->
+        (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+    | None -> (s, "")
+  in
+  let field name =
+    let p = " " ^ name ^ "=" in
+    List.find_map
+      (fun part ->
+        let part = " " ^ part in
+        let pl = String.length p in
+        if String.length part >= pl && String.sub part 0 pl = p then
+          Some (String.sub part pl (String.length part - pl))
+        else None)
+      (String.split_on_char ' ' header)
+  in
+  if
+    String.length header < String.length version_tag
+    || String.sub header 0 (String.length version_tag) <> version_tag
+  then Error "snapshot: unrecognised header (not a snapshot file?)"
+  else
+    match (field "nodes", field "rels", field "crc") with
+    | Some nodes_s, Some rels_s, Some crc_s -> (
+        if Crc32.to_hex (Crc32.digest body) <> crc_s then
+          Error "snapshot: body checksum mismatch"
+        else
+          let lines = String.split_on_char '\n' body in
+          let indexes = List.filter_map parse_index_line lines in
+          let script =
+            String.concat "\n"
+              (List.filter (fun l -> parse_index_line l = None) lines)
+          in
+          let g0 =
+            List.fold_left
+              (fun g (label, key) -> Graph.add_prop_index ~label ~key g)
+              Graph.empty indexes
+          in
+          let run () =
+            if String.trim script = "" then Ok (g0, [])
+            else Api.run_program ~config:replay_config g0 script
+          in
+          match run () with
+          | Error e -> Error ("snapshot: script failed: " ^ Errors.to_string e)
+          | Ok (g, _) ->
+              let n = List.length (Graph.nodes g)
+              and m = List.length (Graph.rels g) in
+              if
+                Some n <> int_of_string_opt nodes_s
+                || Some m <> int_of_string_opt rels_s
+              then
+                Error
+                  (Printf.sprintf
+                     "snapshot: rebuilt %d nodes / %d rels, header declares \
+                      %s / %s"
+                     n m nodes_s rels_s)
+              else Ok g)
+    | _ -> Error "snapshot: malformed header fields"
+
+(* ------------------------------------------------------------------ *)
+(* Files                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let fsync_dir dir =
+  (* best effort: some filesystems refuse fsync on a directory fd *)
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      Unix.close fd
+
+(** [write path g] writes the snapshot image of [g] to [path]
+    atomically: temporary sibling, fsync, rename into place. *)
+let write (path : string) (g : Graph.t) : unit =
+  let content = to_string g in
+  let tmp = path ^ ".tmp" in
+  let fd =
+    Unix.openfile tmp [ Unix.O_WRONLY; O_CREAT; O_TRUNC ] 0o644
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let len = String.length content in
+      let rec go off =
+        if off < len then
+          go (off + Unix.write_substring fd content off (len - off))
+      in
+      go 0;
+      Unix.fsync fd);
+  Unix.rename tmp path;
+  fsync_dir (Filename.dirname path)
+
+(** [read path] loads a snapshot file; a missing file is [Ok None]. *)
+let read (path : string) : (Graph.t option, string) result =
+  if not (Sys.file_exists path) then Ok None
+  else
+    let ic = open_in_bin path in
+    let content =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match parse content with Ok g -> Ok (Some g) | Error e -> Error e

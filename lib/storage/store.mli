@@ -1,0 +1,33 @@
+(** A database on disk: a directory holding a snapshot ([snapshot.cy])
+    and a statement journal ([journal.wal]), wired to a {!Session} whose
+    journal sink write-aheads every graph-changing statement.  See
+    {!Recovery} for the crash model. *)
+
+open Cypher_core
+
+type t
+
+(** [open_db ?config dir] opens (creating if needed) the database at
+    [dir], recovers its graph — truncating a crash-torn journal tail
+    after recording it in {!recovery} — and returns the store paired
+    with a session wired for write-ahead journaling.  [config] (default
+    {!Config.revised}) sets the session semantics and journal
+    durability. *)
+val open_db : ?config:Config.t -> string -> (t * Session.t, string) result
+
+(** What {!open_db} found: recovered statement count, torn-tail report,
+    whether a snapshot was loaded. *)
+val recovery : t -> Recovery.t
+
+val dir : t -> string
+
+(** [compact t session] folds the journal into a fresh snapshot of the
+    session's current graph and empties the journal.  Refused inside a
+    transaction. *)
+val compact : t -> Session.t -> (unit, string) result
+
+(** [close t] closes the journal.  The session keeps working in memory,
+    but further update statements fail their journal append — detach
+    the sink ([Session.set_journal session None]) to keep using it
+    non-durably. *)
+val close : t -> unit

@@ -1,0 +1,60 @@
+(** The write-ahead statement journal: an append-only file of framed
+    records, one per successfully applied graph-changing statement.
+    Each record carries the statement source text, the semantics it ran
+    under, and its update counters as a semantic checksum for replay.
+
+    Frame format (text): [%<payload-bytes> <crc32-hex>\n<payload>\n],
+    payload = one metadata line + the statement source.  The CRC-32
+    covers the payload; {!scan_string} accepts the longest valid prefix
+    of whole records, so a crash-torn tail is detected, reported, and
+    truncated away by recovery — never silently replayed. *)
+
+open Cypher_core
+
+type record = {
+  src : string;  (** statement source text *)
+  stats : Stats.t;  (** update counters recorded at original execution *)
+  mode : Config.mode;
+  order : Config.order;
+  match_mode : Config.match_mode;
+}
+
+(** Where and why a scan stopped before the end of the input. *)
+type torn = {
+  t_offset : int;  (** byte offset of the first unusable record *)
+  t_reason : string;
+}
+
+(** [encode r] is the full frame for [r], header through trailing
+    newline. *)
+val encode : record -> string
+
+(** [scan_string s] parses records from the front of [s]: the records of
+    the longest valid prefix, the byte length of that prefix, and —
+    unless the prefix is all of [s] — where and why the scan stopped.
+    Never raises. *)
+val scan_string : string -> record list * int * torn option
+
+(** [read_file path] scans the whole journal file; a missing file is an
+    empty journal. *)
+val read_file : string -> record list * int * torn option
+
+(** [truncate_file path n] cuts the journal back to its first [n] bytes
+    (dropping a torn tail). *)
+val truncate_file : string -> int -> unit
+
+type writer
+
+(** [open_writer ~durability path] opens [path] for appending, creating
+    it if needed.  [durability] defaults to {!Config.Fsync}. *)
+val open_writer : ?durability:Config.durability -> string -> writer
+
+(** [append w records] writes all [records] with a single [write] (a
+    crash can only tear the tail), then — under [Fsync] durability —
+    forces them to stable storage before returning. *)
+val append : writer -> record list -> unit
+
+val close_writer : writer -> unit
+
+(** A journal record for a session journal entry. *)
+val record_of_entry : Session.journal_entry -> record

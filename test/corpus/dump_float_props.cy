@@ -1,0 +1,6 @@
+// Float properties must dump reparse-exactly: 0.1 and 1/3 need full
+// precision, integral floats must stay floats (3.0, not 3), and large
+// magnitudes must not fall into int syntax.
+// oracle: dump
+// graph: CREATE (:A {tenth: 0.1, intish: 3.0, big: 1e20})
+MATCH (a:A) SET a.third = 1.0 / 3.0, a.neg = -0.0

@@ -1,0 +1,6 @@
+// Keyword-shaped labels, property keys and relationship types, plus
+// identifiers that need backtick quoting (spaces, leading digits):
+// the dump of the result graph must reload to an isomorphic graph.
+// oracle: dump
+// graph: CREATE (:`MATCH` {`create`: 1})-[:`odd type`]->(:`123start` {`a b`: 2})
+MATCH (m:`MATCH`) SET m.`return` = 3

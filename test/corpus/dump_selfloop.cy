@@ -1,0 +1,5 @@
+// Self-loops and parallel edges of the same type must each survive a
+// dump round-trip (a naive per-pair dump collapses the parallels).
+// oracle: dump
+// graph: CREATE (a:A)-[:T {k: 1}]->(a), (a)-[:T {k: 2}]->(b:B), (a)-[:T {k: 3}]->(b)
+CREATE (c:C)-[:T]->(c)

@@ -1,0 +1,6 @@
+// Dumps must escape quotes, backslashes and control characters so the
+// snapshot script reparses to the same string values (the pre-fix dump
+// emitted raw control bytes and broke the round-trip).
+// oracle: dump
+// graph: CREATE (:A {q: 'it\'s', bs: 'a\\b', nl: 'x\ny', tab: 'a\tb'})
+MATCH (a:A) SET a.more = a.q + '\n' + a.bs

@@ -1,0 +1,8 @@
+// The durability oracle end to end on a representative update: journal
+// the statement, then recover from every snapshot/journal truncation
+// and corruption point — the recovered graph must stay isomorphic to
+// the live one at every statement boundary.
+// oracle: durability
+// index: A id
+// graph: CREATE (:A {id: 1})-[:T]->(:A {id: 2}), (:B {s: 'it\'s'})
+MATCH (a:A {id: 1}) SET a.touched = true

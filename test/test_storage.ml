@@ -1,0 +1,455 @@
+(** The durable storage layer: WAL framing, torn-write matrix, snapshot
+    files, recovery, the session journal sink, and [Store.open_db]. *)
+
+open Cypher_graph
+open Test_util
+module Session = Cypher_core.Session
+module Config = Cypher_core.Config
+module Stats = Cypher_core.Stats
+module Wal = Cypher_storage.Wal
+module Snapshot = Cypher_storage.Snapshot
+module Recovery = Cypher_storage.Recovery
+module Store = Cypher_storage.Store
+
+let tmpdir () =
+  let path = Filename.temp_file "cypher_store" "" in
+  Sys.remove path;
+  Unix.mkdir path 0o700;
+  path
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let with_tmpdir f =
+  let dir = tmpdir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let ok_or_fail = function Ok x -> x | Error m -> Alcotest.fail m
+
+let run_ok s src =
+  match Session.run s src with
+  | Ok r -> r
+  | Error e ->
+      Alcotest.failf "session run failed: %s" (Cypher_core.Errors.to_string e)
+
+let record ?(mode = Config.Atomic) ?(order = Config.Forward)
+    ?(match_mode = Config.Isomorphic) ?(stats = Stats.empty) src =
+  { Wal.src; stats; mode; order; match_mode }
+
+let some_stats =
+  {
+    Stats.empty with
+    Stats.nodes_created = 2;
+    rels_created = 1;
+    props_set = 3;
+    rows = 7;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* WAL framing                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let wal_tests =
+  [
+    case "records round-trip through encode/scan" (fun () ->
+        let rs =
+          [
+            record ~stats:some_stats "CREATE (:A {k: 1})";
+            record ~mode:Config.Legacy ~order:(Config.Seeded 42)
+              ~match_mode:Config.Homomorphic
+              "MATCH (n)\nSET n.k = 2";
+            record "MATCH (n) DETACH DELETE n";
+          ]
+        in
+        let bytes = String.concat "" (List.map Wal.encode rs) in
+        let rs', clean, torn = Wal.scan_string bytes in
+        Alcotest.(check bool) "no tear" true (torn = None);
+        Alcotest.(check int) "clean length" (String.length bytes) clean;
+        Alcotest.(check int) "count" 3 (List.length rs');
+        List.iter2
+          (fun (a : Wal.record) (b : Wal.record) ->
+            Alcotest.(check string) "src" a.Wal.src b.Wal.src;
+            Alcotest.(check bool) "stats" true (Stats.equal a.Wal.stats b.Wal.stats);
+            Alcotest.(check bool) "config tag" true
+              (a.Wal.mode = b.Wal.mode && a.Wal.order = b.Wal.order
+             && a.Wal.match_mode = b.Wal.match_mode))
+          rs rs');
+    case "empty input scans to the empty journal" (fun () ->
+        Alcotest.(check bool) "empty" true (Wal.scan_string "" = ([], 0, None)));
+    case "torn-write matrix: every truncation point of a 3-record journal"
+      (fun () ->
+        let rs =
+          [
+            record "CREATE (:A)";
+            record ~stats:some_stats "CREATE (:B {s: 'it''s'})";
+            record "MATCH (a:A)\nDELETE a";
+          ]
+        in
+        let frames = List.map Wal.encode rs in
+        let bytes = String.concat "" frames in
+        (* byte offset of the end of each record *)
+        let ends =
+          let off = ref 0 in
+          List.map (fun f -> off := !off + String.length f; !off) frames
+        in
+        for cut = 0 to String.length bytes - 1 do
+          let kept, clean, torn = Wal.scan_string (String.sub bytes 0 cut) in
+          let full = List.length (List.filter (fun b -> b <= cut) ends) in
+          Alcotest.(check int)
+            (Printf.sprintf "records at cut %d" cut)
+            full (List.length kept);
+          if cut = 0 || List.mem cut ends then
+            Alcotest.(check bool)
+              (Printf.sprintf "no tear at boundary %d" cut)
+              true (torn = None)
+          else (
+            Alcotest.(check bool)
+              (Printf.sprintf "tear reported at cut %d" cut)
+              true (torn <> None);
+            Alcotest.(check int)
+              (Printf.sprintf "tear offset at cut %d" cut)
+              clean
+              (match torn with Some t -> t.Wal.t_offset | None -> -1))
+        done);
+    case "single-byte corruption never yields a record" (fun () ->
+        let r = record ~stats:some_stats "CREATE (:A {k: 1})-[:T]->(:B)" in
+        let bytes = Wal.encode r in
+        for i = 0 to String.length bytes - 1 do
+          let damaged =
+            String.mapi
+              (fun j c ->
+                if j = i then Char.chr ((Char.code c + 1) land 0xff) else c)
+              bytes
+          in
+          match Wal.scan_string damaged with
+          | [], _, Some _ -> ()
+          | kept, _, torn ->
+              Alcotest.failf
+                "corrupting byte %d: %d record(s) kept, torn=%s" i
+                (List.length kept)
+                (match torn with Some t -> t.Wal.t_reason | None -> "none")
+        done);
+    case "writer appends and read_file scans them back" (fun () ->
+        with_tmpdir (fun dir ->
+            let path = Filename.concat dir "j.wal" in
+            let w = Wal.open_writer ~durability:Config.Fsync path in
+            Wal.append w [ record "CREATE (:A)" ];
+            Wal.append w [ record "CREATE (:B)"; record "CREATE (:C)" ];
+            Wal.close_writer w;
+            let rs, _, torn = Wal.read_file path in
+            Alcotest.(check bool) "clean" true (torn = None);
+            Alcotest.(check (list string)) "sources"
+              [ "CREATE (:A)"; "CREATE (:B)"; "CREATE (:C)" ]
+              (List.map (fun (r : Wal.record) -> r.Wal.src) rs)));
+    case "read_file on a missing path is the empty journal" (fun () ->
+        Alcotest.(check bool) "empty" true
+          (Wal.read_file "/nonexistent/journal.wal" = ([], 0, None)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let snapshot_tests =
+  [
+    case "snapshot round-trips a graph with a property index" (fun () ->
+        let g =
+          Graph.add_prop_index ~label:"A" ~key:"id"
+            (graph_of
+               "CREATE (:A {id: 1, s: 'x'})-[:T {w: 2.5}]->(:B), (:C)")
+        in
+        let g' = ok_or_fail (Snapshot.parse (Snapshot.to_string g)) in
+        Alcotest.check graph_iso_testable "isomorphic" g g';
+        Alcotest.(check bool) "index preserved" true
+          (Graph.prop_index_keys g' = [ ("A", "id") ]));
+    case "snapshot of the empty graph round-trips" (fun () ->
+        let g' = ok_or_fail (Snapshot.parse (Snapshot.to_string Graph.empty)) in
+        Alcotest.(check int) "no nodes" 0 (Graph.node_count g'));
+    case "snapshot body corruption is rejected" (fun () ->
+        let img = Snapshot.to_string (graph_of "CREATE (:A {k: 1})") in
+        let i = String.index img '\n' + 3 in
+        let damaged =
+          String.mapi (fun j c -> if j = i then 'Z' else c) img
+        in
+        match Snapshot.parse damaged with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "corrupt snapshot accepted");
+    case "non-snapshot content is rejected" (fun () ->
+        match Snapshot.parse "CREATE (:A);\n" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "garbage accepted as snapshot");
+    case "write/read through a file" (fun () ->
+        with_tmpdir (fun dir ->
+            let path = Filename.concat dir "snap.cy" in
+            let g = graph_of "CREATE (:A)-[:T]->(:B)" in
+            Snapshot.write path g;
+            (match Snapshot.read path with
+            | Ok (Some g') -> Alcotest.check graph_iso_testable "iso" g g'
+            | Ok None -> Alcotest.fail "snapshot missing"
+            | Error m -> Alcotest.fail m);
+            Alcotest.(check bool) "no tmp litter" false
+              (Sys.file_exists (path ^ ".tmp"))));
+    case "read on a missing path is Ok None" (fun () ->
+        Alcotest.(check bool) "none" true
+          (Snapshot.read "/nonexistent/snap.cy" = Ok None));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Session journal sink                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sink_into log =
+  Some (fun entries -> log := !log @ entries)
+
+let srcs log = List.map (fun e -> e.Session.je_src) !log
+
+let session_journal_tests =
+  [
+    case "statements outside a transaction journal immediately" (fun () ->
+        let log = ref [] in
+        let s = Session.create Graph.empty in
+        Session.set_journal s (sink_into log);
+        ignore (run_ok s "CREATE (:A)");
+        ignore (run_ok s "MATCH (n) RETURN n");
+        ignore (run_ok s "CREATE (:B)");
+        Alcotest.(check (list string)) "updates only"
+          [ "CREATE (:A)"; "CREATE (:B)" ] (srcs log));
+    case "a transaction journals once, at the outermost commit" (fun () ->
+        let log = ref [] in
+        let s = Session.create Graph.empty in
+        Session.set_journal s (sink_into log);
+        Session.begin_tx s;
+        ignore (run_ok s "CREATE (:A)");
+        Session.begin_tx s;
+        ignore (run_ok s "CREATE (:B)");
+        (match Session.commit s with Ok () -> () | Error m -> Alcotest.fail m);
+        Alcotest.(check int) "inner commit flushes nothing" 0
+          (List.length !log);
+        ignore (run_ok s "CREATE (:C)");
+        (match Session.commit s with Ok () -> () | Error m -> Alcotest.fail m);
+        Alcotest.(check (list string)) "statement order preserved"
+          [ "CREATE (:A)"; "CREATE (:B)"; "CREATE (:C)" ]
+          (srcs log));
+    case "rollback journals nothing" (fun () ->
+        let log = ref [] in
+        let s = Session.create Graph.empty in
+        Session.set_journal s (sink_into log);
+        Session.begin_tx s;
+        ignore (run_ok s "CREATE (:A)");
+        (match Session.rollback s with Ok () -> () | Error m -> Alcotest.fail m);
+        Alcotest.(check int) "empty journal" 0 (List.length !log);
+        Alcotest.(check int) "graph rolled back" 0
+          (Graph.node_count (Session.graph s)));
+    case "inner rollback drops only the inner entries" (fun () ->
+        let log = ref [] in
+        let s = Session.create Graph.empty in
+        Session.set_journal s (sink_into log);
+        Session.begin_tx s;
+        ignore (run_ok s "CREATE (:Keep)");
+        Session.begin_tx s;
+        ignore (run_ok s "CREATE (:Drop)");
+        (match Session.rollback s with Ok () -> () | Error m -> Alcotest.fail m);
+        (match Session.commit s with Ok () -> () | Error m -> Alcotest.fail m);
+        Alcotest.(check (list string)) "outer entry survives"
+          [ "CREATE (:Keep)" ] (srcs log));
+    case "write-ahead: a failing sink blocks the statement" (fun () ->
+        let s = Session.create Graph.empty in
+        Session.set_journal s (Some (fun _ -> failwith "disk full"));
+        (match Session.run s "CREATE (:A)" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "statement succeeded past a failing journal");
+        Alcotest.(check int) "graph did not advance" 0
+          (Graph.node_count (Session.graph s)));
+    case "a failing sink at commit rolls the transaction back" (fun () ->
+        let s = Session.create Graph.empty in
+        Session.set_journal s (Some (fun _ -> failwith "disk full"));
+        Session.begin_tx s;
+        (* buffered: the sink is not touched yet, so this succeeds *)
+        ignore (run_ok s "CREATE (:A)");
+        (match Session.commit s with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "commit succeeded past a failing journal");
+        Alcotest.(check int) "rolled back" 0
+          (Graph.node_count (Session.graph s));
+        Alcotest.(check bool) "tx closed" false (Session.in_transaction s));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Store / recovery end to end                                        *)
+(* ------------------------------------------------------------------ *)
+
+let open_ok ?config dir = ok_or_fail (Store.open_db ?config dir)
+
+let store_tests =
+  [
+    case "open_db on a fresh directory recovers the empty graph" (fun () ->
+        with_tmpdir (fun dir ->
+            let db = Filename.concat dir "db" in
+            let store, session = open_ok db in
+            Alcotest.(check int) "empty" 0
+              (Graph.node_count (Session.graph session));
+            Alcotest.(check int) "nothing replayed" 0
+              (Store.recovery store).Recovery.replayed;
+            Store.close store));
+    case "journal-only reopen reproduces the live graph" (fun () ->
+        with_tmpdir (fun dir ->
+            let store, session = open_ok dir in
+            ignore (run_ok session "CREATE (:A {k: 1})-[:T]->(:B)");
+            ignore (run_ok session "MATCH (a:A) SET a.k = 2");
+            let live = Session.graph session in
+            Store.close store;
+            let store2, session2 = open_ok dir in
+            Alcotest.check graph_iso_testable "iso" live
+              (Session.graph session2);
+            Alcotest.(check int) "both statements replayed" 2
+              (Store.recovery store2).Recovery.replayed;
+            Store.close store2));
+    case "snapshot + journal reopen equals journal-only reopen" (fun () ->
+        with_tmpdir (fun dir ->
+            let plain = Filename.concat dir "plain" in
+            let compacted = Filename.concat dir "compacted" in
+            let stmts =
+              [
+                "CREATE (:A {id: 1})-[:T]->(:B)";
+                "CREATE (:C {s: 'x'})";
+                "MATCH (a:A) SET a.id = 9";
+                "MATCH (c:C) DETACH DELETE c";
+              ]
+            in
+            let build dir ~compact_after =
+              let store, session = open_ok dir in
+              List.iteri
+                (fun i src ->
+                  ignore (run_ok session src);
+                  if Some i = compact_after then
+                    ok_or_fail (Store.compact store session))
+                stmts;
+              let live = Session.graph session in
+              Store.close store;
+              live
+            in
+            let live_plain = build plain ~compact_after:None in
+            let live_comp = build compacted ~compact_after:(Some 1) in
+            Alcotest.check graph_iso_testable "same live graph" live_plain
+              live_comp;
+            let s1, g1 = open_ok plain and s2, g2 = open_ok compacted in
+            Alcotest.(check bool) "compacted store loaded a snapshot" true
+              (Store.recovery s2).Recovery.snapshot_loaded;
+            Alcotest.(check int) "compacted store replays the tail only" 2
+              (Store.recovery s2).Recovery.replayed;
+            Alcotest.check graph_iso_testable "recoveries agree"
+              (Session.graph g1) (Session.graph g2);
+            Alcotest.check graph_iso_testable "and match the live graph"
+              live_plain (Session.graph g1);
+            Store.close s1;
+            Store.close s2));
+    case "compact empties the journal and survives reopen" (fun () ->
+        with_tmpdir (fun dir ->
+            let store, session = open_ok dir in
+            ignore (run_ok session "CREATE (:A), (:B)");
+            ok_or_fail (Store.compact store session);
+            Alcotest.(check bool) "journal emptied" true
+              (Wal.read_file (Filename.concat dir "journal.wal") = ([], 0, None));
+            ignore (run_ok session "CREATE (:C)");
+            let live = Session.graph session in
+            Store.close store;
+            let store2, session2 = open_ok dir in
+            Alcotest.check graph_iso_testable "iso" live (Session.graph session2);
+            Store.close store2));
+    case "compact is refused mid-transaction" (fun () ->
+        with_tmpdir (fun dir ->
+            let store, session = open_ok dir in
+            Session.begin_tx session;
+            (match Store.compact store session with
+            | Error _ -> ()
+            | Ok () -> Alcotest.fail "compacted inside a transaction");
+            Store.close store));
+    case "a torn journal tail is reported and truncated on open" (fun () ->
+        with_tmpdir (fun dir ->
+            let store, session = open_ok dir in
+            ignore (run_ok session "CREATE (:A)");
+            ignore (run_ok session "CREATE (:B)");
+            Store.close store;
+            let wal_path = Filename.concat dir "journal.wal" in
+            let intact = (Unix.stat wal_path).Unix.st_size in
+            let oc = open_out_gen [ Open_append ] 0o644 wal_path in
+            output_string oc "%39 deadbeef\nm=atomic o=fwd x=iso s=0,0";
+            close_out oc;
+            let store2, session2 = open_ok dir in
+            let r = Store.recovery store2 in
+            Alcotest.(check bool) "tear reported" true (r.Recovery.torn <> None);
+            Alcotest.(check int) "replayed up to the tear" 2 r.Recovery.replayed;
+            Alcotest.(check int) "both nodes present" 2
+              (Graph.node_count (Session.graph session2));
+            Alcotest.(check int) "file truncated back" intact
+              (Unix.stat wal_path).Unix.st_size;
+            Store.close store2));
+    case "uncommitted transactions are invisible to recovery" (fun () ->
+        with_tmpdir (fun dir ->
+            let store, session = open_ok dir in
+            ignore (run_ok session "CREATE (:Durable)");
+            Session.begin_tx session;
+            ignore (run_ok session "CREATE (:Lost)");
+            (* simulate a crash: close without commit *)
+            Store.close store;
+            let store2, session2 = open_ok dir in
+            Alcotest.(check int) "only the committed statement" 1
+              (Graph.node_count (Session.graph session2));
+            Store.close store2));
+    case "a corrupt snapshot fails open_db loudly" (fun () ->
+        with_tmpdir (fun dir ->
+            let store, session = open_ok dir in
+            ignore (run_ok session "CREATE (:A)");
+            ok_or_fail (Store.compact store session);
+            Store.close store;
+            let snap = Filename.concat dir "snapshot.cy" in
+            let img = In_channel.with_open_text snap In_channel.input_all in
+            Out_channel.with_open_text snap (fun oc ->
+                Out_channel.output_string oc (img ^ "CREATE (:Sneaky);\n"));
+            match Store.open_db dir with
+            | Error _ -> ()
+            | Ok (store2, _) ->
+                Store.close store2;
+                Alcotest.fail "tampered snapshot accepted"));
+    case "open_db on a file path fails" (fun () ->
+        with_tmpdir (fun dir ->
+            let path = Filename.concat dir "afile" in
+            Out_channel.with_open_text path (fun oc ->
+                Out_channel.output_string oc "not a directory");
+            match Store.open_db path with
+            | Error _ -> ()
+            | Ok (store, _) ->
+                Store.close store;
+                Alcotest.fail "opened a database inside a plain file"));
+    case "buffered durability journals and recovers too" (fun () ->
+        with_tmpdir (fun dir ->
+            let config = Config.with_durability Config.Buffered Config.revised in
+            let store, session = open_ok ~config dir in
+            ignore (run_ok session "CREATE (:A)");
+            Store.close store;
+            let store2, session2 = open_ok dir in
+            Alcotest.(check int) "recovered" 1
+              (Graph.node_count (Session.graph session2));
+            Store.close store2));
+    case "legacy-semantics statements replay under legacy semantics" (fun () ->
+        with_tmpdir (fun dir ->
+            (* order-sensitive legacy SET: replay must use the recorded
+               mode/order, not the session default *)
+            let config = Config.with_order Config.Reverse Config.cypher9 in
+            let store, session = open_ok ~config dir in
+            ignore (run_ok session "CREATE (:A {k: 1}), (:A {k: 2})");
+            ignore
+              (run_ok session "MATCH (a:A), (b:A) SET a.k = b.k");
+            let live = Session.graph session in
+            Store.close store;
+            let store2, session2 = open_ok dir in
+            Alcotest.check graph_iso_testable "legacy replay agrees" live
+              (Session.graph session2);
+            Store.close store2));
+  ]
+
+let suite = wal_tests @ snapshot_tests @ session_journal_tests @ store_tests
