@@ -83,6 +83,57 @@ let q_1hop = parse_q "MATCH (u:User)-[:ORDERED]->(p:Product) RETURN count(*) AS 
 let q_point = parse_q "MATCH (u:User {id: 100042}) RETURN u.name AS name"
 let market1000_indexed = Graph.add_prop_index ~label:"User" ~key:"id" market1000
 
+(* prepared statements and the session plan cache --------------------- *)
+
+module Smap = Cypher_util.Maps.Smap
+
+(* the point lookup again, parameterized: the hot shape of an OLTP
+   workload — one statement text, many bindings *)
+let param_src = "MATCH (u:User {id: $uid}) RETURN u.name AS name"
+let uid_params = Smap.add "uid" (Value.Int 100042) Smap.empty
+
+(* a parse-heavy but execution-trivial statement (no :A nodes exist):
+   the hit/miss pair isolates what the statement cache saves in lexing,
+   parsing, validation and planning *)
+let parse_heavy_src =
+  "MATCH (a:A)-[r:T*1..3]->(b) WHERE a.x > $k AND b.name STARTS WITH 'p' \
+   WITH a, count(*) AS n ORDER BY n DESC LIMIT 10 RETURN a, n"
+
+let bench_session ~capacity g params =
+  let config =
+    Config.with_plan_cache_capacity capacity (Config.with_params params cfg_revised)
+  in
+  Session.create ~config g
+
+let warm session src =
+  (match Session.run session src with
+  | Ok _ -> ()
+  | Error e -> failwith (Errors.to_string e));
+  session
+
+let parse_session_warm =
+  warm
+    (bench_session ~capacity:128 Graph.empty
+       (Smap.add "k" (Value.Int 1) Smap.empty))
+    parse_heavy_src
+
+let parse_session_nocache =
+  bench_session ~capacity:0 Graph.empty (Smap.add "k" (Value.Int 1) Smap.empty)
+
+let point_session_warm =
+  warm (bench_session ~capacity:128 market1000_indexed uid_params) param_src
+
+let point_session_nocache =
+  bench_session ~capacity:0 market1000_indexed uid_params
+
+let prepared_point =
+  match Api.prepare ~config:cfg_revised param_src with
+  | Ok p -> p
+  | Error e -> failwith (Errors.to_string e)
+
+(* two real user ids, alternated so every execution rebinds *)
+let rebind_flip = ref false
+
 let merge_src = Fixtures.example5_merge
 
 let merge_graph mode table () =
@@ -159,6 +210,7 @@ let wal_record =
     mode = Config.Atomic;
     order = Config.Forward;
     match_mode = Config.Isomorphic;
+    params = Cypher_util.Maps.Smap.empty;
   }
 
 let wal_bytes_50 =
@@ -239,6 +291,36 @@ let tests =
         Sys.opaque_identity (run_q cfg_revised market1000 q_point));
     t "match/point/prop-index" (fun () ->
         Sys.opaque_identity (run_q cfg_revised market1000_indexed q_point));
+    (* prepared statements and the session plan cache: a warm session
+       serves repeat statements from the LRU (no lexing, parsing,
+       validation or planning); capacity 0 recompiles every time *)
+    t "parse/prepared-hit" (fun () ->
+        Sys.opaque_identity (Session.run parse_session_warm parse_heavy_src));
+    t "parse/prepared-miss" (fun () ->
+        Sys.opaque_identity (Session.run parse_session_nocache parse_heavy_src));
+    t "plan-cache/hit" (fun () ->
+        Sys.opaque_identity (Session.run point_session_warm param_src));
+    t "plan-cache/miss" (fun () ->
+        Sys.opaque_identity (Session.run point_session_nocache param_src));
+    (* the prepared API itself: rebinding a fresh parameter map per
+       execution vs re-running the statement text from scratch *)
+    t "execute/param-rebind" (fun () ->
+        rebind_flip := not !rebind_flip;
+        let uid = if !rebind_flip then 100042 else 100043 in
+        Sys.opaque_identity
+          (Api.execute prepared_point
+             (Smap.add "uid" (Value.Int uid) Smap.empty)
+             market1000_indexed));
+    t "execute/run-string" (fun () ->
+        rebind_flip := not !rebind_flip;
+        let uid = if !rebind_flip then 100042 else 100043 in
+        Sys.opaque_identity
+          (Api.run_string_full
+             ~config:
+               (Config.with_params
+                  (Smap.add "uid" (Value.Int uid) Smap.empty)
+                  cfg_revised)
+             market1000_indexed param_src));
     t "match/figure1-query1" (fun () ->
         Sys.opaque_identity (run_q cfg_revised Fixtures.figure1_graph q_read));
     (* ablation: homomorphic matching drops the used-relationship

@@ -21,6 +21,9 @@
       :compact              fold the journal into a snapshot (--db only)
       :semantics MODE       legacy | revised | permissive
       :order MODE           forward | reverse | seed:N  (legacy clauses)
+      :param NAME = EXPR    bind $NAME for subsequent statements
+      :params               list the current parameter bindings
+      :params clear         drop all parameter bindings
 *)
 
 open Cypher_graph
@@ -57,27 +60,6 @@ let run_statement st src =
   | Error e -> Fmt.epr "error: %s@." (Errors.to_string e));
   st
 
-let run_script st src =
-  match Cypher_parser.Parser.parse_statements src with
-  | Error e ->
-      Fmt.epr "error: %s@." (Cypher_parser.Parser.error_to_string e);
-      st
-  | Ok statements ->
-      List.iter
-        (fun (prefix, q) ->
-          match Session.run_query ~prefix st.session q with
-          | Ok r -> print_result st r
-          | Error e -> Fmt.epr "error: %s@." (Errors.to_string e))
-        statements;
-      st
-
-let load_file st path =
-  match In_channel.with_open_text path In_channel.input_all with
-  | src -> run_script st src
-  | exception Sys_error m ->
-      Fmt.epr "error: %s@." m;
-      st
-
 let semantics_of_string = function
   | "legacy" -> Some Config.cypher9
   | "revised" -> Some Config.revised
@@ -95,11 +77,65 @@ let order_of_string s =
           (int_of_string_opt (String.sub s 5 (String.length s - 5)))
       else None
 
+(* Parameter values must survive a journal round-trip, so graph
+   entities — whose identity is meaningless outside the session that
+   produced them — are rejected at binding time. *)
+let rec storable (v : Value.t) =
+  match v with
+  | Value.Null | Value.Bool _ | Value.Int _ | Value.Float _ | Value.String _
+    ->
+      true
+  | Value.List vs -> List.for_all storable vs
+  | Value.Map m -> Cypher_util.Maps.Smap.for_all (fun _ v -> storable v) m
+  | Value.Node _ | Value.Rel _ | Value.Path _ -> false
+
+(* [:param n = e] evaluates [e] as a standalone Cypher expression —
+   against the current graph and bindings, so [:param big = $small * 10]
+   works — and binds the result for every later statement. *)
+let set_param st name expr_src =
+  match Cypher_parser.Parser.parse_expr_string expr_src with
+  | Error e ->
+      Fmt.epr "error: %s@." (Cypher_parser.Parser.error_to_string e);
+      st
+  | Ok expr -> (
+      let config = Session.config st.session in
+      let ctx =
+        Cypher_eval.Ctx.make ~params:config.Config.params
+          (Session.graph st.session) Cypher_table.Record.empty
+      in
+      match Cypher_eval.Eval.eval ctx expr with
+      | exception Cypher_eval.Ctx.Error m ->
+          Fmt.epr "error: %s@." m;
+          st
+      | exception Errors.Error e ->
+          Fmt.epr "error: %s@." (Errors.to_string e);
+          st
+      | v ->
+          if not (storable v) then begin
+            Fmt.epr
+              "error: $%s: graph entities cannot be parameter values@." name;
+            st
+          end
+          else begin
+            Session.set_config st.session (Config.with_param name v config);
+            Fmt.pr "$%s = %s@." name (Value.to_string v);
+            st
+          end)
+
+let print_params st =
+  let params = (Session.config st.session).Config.params in
+  if Cypher_util.Maps.Smap.is_empty params then
+    print_endline "no parameters bound"
+  else
+    Cypher_util.Maps.Smap.iter
+      (fun name v -> Fmt.pr "$%s = %s@." name (Value.to_string v))
+      params
+
 let help_text =
   ":help :quit :graph :stats [on|off] :clear :dot FILE :save FILE :load FILE \
    :begin :commit :rollback :compact :semantics legacy|revised|permissive \
-   :order forward|reverse|seed:N — prefix a statement with EXPLAIN or \
-   PROFILE to see its plan"
+   :order forward|reverse|seed:N :param NAME = EXPR :params [clear] — \
+   prefix a statement with EXPLAIN or PROFILE to see its plan"
 
 (* A failed file write (unwritable path, full disk, dangling graph that
    cannot be dumped) must report and leave the REPL running, not kill
@@ -124,7 +160,73 @@ let compact st =
       | Ok () -> Fmt.pr "compacted %s@." (Store.dir store)
       | Error m -> Fmt.epr "error: %s@." m)
 
-let handle_command st line =
+(* Scripts ([-f] and [:load]) are processed line-by-line like the REPL:
+   a line starting with [:] between statements is a shell command — so
+   [:param] bindings set in a script govern the statements after them —
+   and everything else accumulates until a trailing [;].  Mutually
+   recursive because commands include [:load] and scripts include
+   commands. *)
+let rec run_chunk st src =
+  if String.trim src = "" then st
+  else begin
+    (match Session.run st.session src with
+    | Ok r -> print_result st r
+    | Error e -> (
+        (* a chunk may pack several ;-separated statements on one
+           line — fall back to the multi-statement parser *)
+        match Cypher_parser.Parser.parse_statements src with
+        | Ok ((_ :: _ :: _) as statements) ->
+            List.iter
+              (fun (prefix, q) ->
+                match Session.run_query ~prefix st.session q with
+                | Ok r -> print_result st r
+                | Error e -> Fmt.epr "error: %s@." (Errors.to_string e))
+              statements
+        | _ -> Fmt.epr "error: %s@." (Errors.to_string e)));
+    st
+  end
+
+and run_script st src =
+  let buf = Buffer.create 256 in
+  let flush st =
+    let text = Buffer.contents buf in
+    Buffer.clear buf;
+    run_chunk st text
+  in
+  let rec go st = function
+    | [] -> flush st
+    | line :: rest ->
+        let trimmed = String.trim line in
+        if
+          String.length trimmed > 0
+          && trimmed.[0] = ':'
+          && String.trim (Buffer.contents buf) = ""
+        then begin
+          Buffer.clear buf;
+          match handle_command st trimmed with
+          | Some st -> go st rest
+          | None -> st (* :quit ends the script *)
+        end
+        else begin
+          Buffer.add_string buf line;
+          Buffer.add_char buf '\n';
+          if
+            String.length trimmed > 0
+            && trimmed.[String.length trimmed - 1] = ';'
+          then go (flush st) rest
+          else go st rest
+        end
+  in
+  go st (String.split_on_char '\n' src)
+
+and load_file st path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | src -> run_script st src
+  | exception Sys_error m ->
+      Fmt.epr "error: %s@." m;
+      st
+
+and handle_command st line =
   match String.split_on_char ' ' (String.trim line) with
   | [ ":help" ] ->
       print_endline help_text;
@@ -193,6 +295,38 @@ let handle_command st line =
       | None ->
           Fmt.epr "unknown semantics %S (legacy | revised | permissive)@." mode;
           Some st)
+  | [ ":params" ] ->
+      print_params st;
+      Some st
+  | [ ":params"; "clear" ] ->
+      Session.set_config st.session
+        (Config.with_params Cypher_util.Maps.Smap.empty
+           (Session.config st.session));
+      print_endline "parameters cleared";
+      Some st
+  (* Split on the first [=] of the raw line, not on the space-split
+     tokens — the expression may contain significant whitespace. *)
+  | ":param" :: _ -> (
+      let text = String.trim (String.sub line 6 (String.length line - 6)) in
+      match String.index_opt text '=' with
+      | None ->
+          Fmt.epr "usage: :param NAME = EXPRESSION@.";
+          Some st
+      | Some i ->
+          let name =
+            let n = String.trim (String.sub text 0 i) in
+            if String.length n > 0 && n.[0] = '$' then
+              String.sub n 1 (String.length n - 1)
+            else n
+          in
+          let expr_src =
+            String.trim (String.sub text (i + 1) (String.length text - i - 1))
+          in
+          if name = "" || expr_src = "" then begin
+            Fmt.epr "usage: :param NAME = EXPRESSION@.";
+            Some st
+          end
+          else Some (set_param st name expr_src))
   | [ ":order"; mode ] -> (
       match order_of_string mode with
       | Some order ->

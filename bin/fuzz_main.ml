@@ -1,10 +1,11 @@
 (* Command-line driver for the fuzzing/cross-validation subsystem.
 
-   Runs [n] generated cases through all seven oracles (round-trip,
+   Runs [n] generated cases through all eight oracles (round-trip,
    planner equivalence, parallel-vs-serial byte equivalence,
    legacy/revised divergence classification, result-graph
    well-formedness, update counters vs graph diff, durability
-   fault injection) and exits non-zero on any failure.  With
+   fault injection, prepared-statement equivalence) and exits non-zero
+   on any failure.  With
    [-corpus DIR], shrunk failures are appended as replayable corpus
    entries.  Wired to the [@fuzz] dune alias; [@par] runs the
    parallel oracle alone over the pinned seeds. *)
@@ -31,7 +32,7 @@ let () =
       ( "-oracle",
         Arg.Set_string oracle_only,
         "NAME run only one oracle \
-         (roundtrip|planner|parallel|divergence|wellformed|counters|durability)" );
+         (roundtrip|planner|parallel|divergence|wellformed|counters|durability|prepared)" );
     ]
   in
   Arg.parse spec
@@ -71,6 +72,7 @@ let () =
                [ Cypher_fuzz.Gen.statement rng; Cypher_fuzz.Gen.statement rng ]
              in
              Oracles.durability ~extra g q
+         | "prepared" -> Oracles.prepared g q
          | o -> raise (Arg.Bad ("unknown oracle " ^ o))
        in
        match outcome with
@@ -98,6 +100,7 @@ let () =
               | "divergence" -> Corpus.Divergence
               | "counters" -> Corpus.Counters
               | "durability" -> Corpus.Durability
+              | "prepared" -> Corpus.Prepared
               | _ -> Corpus.Wellformed
             in
             let name =

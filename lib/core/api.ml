@@ -7,6 +7,7 @@
 
 open Cypher_graph
 open Cypher_table
+open Cypher_util.Maps
 module Parser = Cypher_parser.Parser
 module Validate = Cypher_ast.Validate
 
@@ -35,6 +36,46 @@ let parse ?(dialect = Validate.Revised) src =
       | Error m -> Error (Errors.Validation_error m)
       | Ok q -> Ok q)
 
+(* Executes an already-validated query under the given statement prefix;
+   the shared back half of [run_query_full] and [execute_full].  [memo]
+   carries hoisted match plans across executions of a prepared
+   statement. *)
+let run_validated ?memo ~config ~prefix graph (q : Cypher_ast.Ast.query) :
+    (result, Errors.t) Stdlib.result =
+  wrap_errors (fun () ->
+      match prefix with
+      | Parser.Explain ->
+          {
+            r_graph = graph;
+            r_table = Table.unit;
+            r_stats = Stats.empty;
+            r_plan = Some (Explain.render config graph q);
+            r_profile = None;
+          }
+      | Parser.Plain | Parser.Profile ->
+          let stats =
+            if config.Config.collect_stats then Stats.make () else Stats.null
+          in
+          let profile =
+            match prefix with Parser.Profile -> Some (ref []) | _ -> None
+          in
+          let plan =
+            match prefix with
+            | Parser.Profile ->
+                Some (Explain.render ~profiled:true config graph q)
+            | _ -> None
+          in
+          let graph', table =
+            Engine.output ~stats ?profile ?memo config graph q
+          in
+          {
+            r_graph = graph';
+            r_table = table;
+            r_stats = Stats.finalize stats graph';
+            r_plan = plan;
+            r_profile = Option.map (fun acc -> List.rev !acc) profile;
+          })
+
 (** [run_query_full ~config ~prefix graph q] validates [q] against the
     configured dialect and executes it under the given statement prefix.
     [EXPLAIN] renders the plan and does not run the statement (the input
@@ -44,42 +85,7 @@ let run_query_full ?(config = Config.revised) ?(prefix = Parser.Plain) graph
     (q : Cypher_ast.Ast.query) : (result, Errors.t) Stdlib.result =
   match Validate.validate config.Config.dialect q with
   | Error m -> Error (Errors.Validation_error m)
-  | Ok q ->
-      wrap_errors (fun () ->
-          match prefix with
-          | Parser.Explain ->
-              {
-                r_graph = graph;
-                r_table = Table.unit;
-                r_stats = Stats.empty;
-                r_plan = Some (Explain.render config graph q);
-                r_profile = None;
-              }
-          | Parser.Plain | Parser.Profile ->
-              let stats =
-                if config.Config.collect_stats then Stats.make ()
-                else Stats.null
-              in
-              let profile =
-                match prefix with
-                | Parser.Profile -> Some (ref [])
-                | _ -> None
-              in
-              let plan =
-                match prefix with
-                | Parser.Profile ->
-                    Some (Explain.render ~profiled:true config graph q)
-                | _ -> None
-              in
-              let graph', table = Engine.output ~stats ?profile config graph q in
-              {
-                r_graph = graph';
-                r_table = table;
-                r_stats = Stats.finalize stats graph';
-                r_plan = plan;
-                r_profile =
-                  Option.map (fun acc -> List.rev !acc) profile;
-              })
+  | Ok q -> run_validated ~config ~prefix graph q
 
 (** [run_query ~config graph q] validates [q] against the configured
     dialect and executes it, returning the updated graph and the output
@@ -90,22 +96,128 @@ let run_query ?config graph (q : Cypher_ast.Ast.query) :
   | Error e -> Error e
   | Ok r -> Ok { graph = r.r_graph; table = r.r_table }
 
+(* Every parameter a statement references must be supplied before it
+   runs (Neo4j's discipline); the parser hands us each [$name]'s source
+   position, so the error carries a span instead of surfacing lazily
+   from deep inside evaluation.  EXPLAIN skips the check — it never
+   evaluates anything. *)
+let check_params_supplied params required =
+  List.iter
+    (fun (name, (line, col)) ->
+      if not (Smap.mem name params) then
+        Errors.eval_error "parameter $%s was not supplied (line %d, column %d)"
+          name line col)
+    required
+
 (** [run_string_full ~config graph src] parses (recognising an optional
-    EXPLAIN / PROFILE prefix), validates and executes one statement. *)
+    EXPLAIN / PROFILE prefix), validates and executes one statement.
+    Statements referencing parameters absent from [config.params] are
+    rejected up front with the [$param]'s source position. *)
 let run_string_full ?(config = Config.revised) graph src =
-  match Parser.parse_statement src with
+  match Parser.parse_statement_params src with
   | Error e -> Error (Errors.Parse_error (Parser.error_to_string e))
-  | Ok (prefix, q) -> (
+  | Ok (prefix, q, required) -> (
       match Validate.validate config.Config.dialect q with
       | Error m -> Error (Errors.Validation_error m)
-      | Ok q -> run_query_full ~config ~prefix graph q)
+      | Ok q ->
+          if prefix <> Parser.Explain then
+            match
+              wrap_errors (fun () ->
+                  check_params_supplied config.Config.params required)
+            with
+            | Error e -> Error e
+            | Ok () -> run_validated ~config ~prefix graph q
+          else run_validated ~config ~prefix graph q)
+
+(* ------------------------------------------------------------------ *)
+(* Prepared statements                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** A compiled statement: parsed, validated, and carrying a plan memo so
+    repeat executions (under fresh parameter bindings) skip lexing,
+    parsing, validation and match planning.  Compiled once with
+    {!prepare}, executed many times with {!execute} /
+    {!execute_full}. *)
+type prepared = {
+  p_src : string;
+  p_prefix : Parser.prefix;
+  p_query : Cypher_ast.Ast.query;
+  p_config : Config.t;
+  p_params : (string * (int * int)) list;
+      (* parameters the statement references, with source positions *)
+  p_memo : Engine.Plan_memo.t;
+}
+
+(** [prepare ~config src] compiles one statement: parse (recognising
+    EXPLAIN / PROFILE), validate against the configured dialect, and
+    attach an empty plan memo.  The result is immutable apart from the
+    memo and may be executed any number of times, against different
+    graphs and parameter bindings. *)
+let prepare ?(config = Config.revised) src :
+    (prepared, Errors.t) Stdlib.result =
+  match Parser.parse_statement_params src with
+  | Error e -> Error (Errors.Parse_error (Parser.error_to_string e))
+  | Ok (prefix, q, params) -> (
+      match Validate.validate config.Config.dialect q with
+      | Error m -> Error (Errors.Validation_error m)
+      | Ok q ->
+          Ok
+            {
+              p_src = src;
+              p_prefix = prefix;
+              p_query = q;
+              p_config = config;
+              p_params = params;
+              p_memo = Engine.Plan_memo.create ();
+            })
+
+(** Parameters the compiled statement references: name and (line,
+    column) of the first occurrence, in first-occurrence order. *)
+let prepared_params p = p.p_params
+
+let prepared_source p = p.p_src
+
+(** [prepared_plan p graph] renders the execution plan the statement
+    would use against [graph] (an EXPLAIN without executing). *)
+let prepared_plan p graph = Explain.render p.p_config graph p.p_query
+
+(** [execute_full p params graph] runs the compiled statement with the
+    given parameter bindings (overriding any bindings already in the
+    preparation config).  Unsupplied parameters are rejected up front
+    with their source position.  Hoisted match plans are reused from the
+    statement's memo; the memo invalidates itself whenever the graph's
+    property-index key set changes, so no stale plan survives an index
+    registration. *)
+let execute_full (p : prepared) params graph :
+    (result, Errors.t) Stdlib.result =
+  let params = Smap.fold Smap.add params p.p_config.Config.params in
+  let config = { p.p_config with Config.params } in
+  if p.p_prefix <> Parser.Explain then
+    match
+      wrap_errors (fun () -> check_params_supplied params p.p_params)
+    with
+    | Error e -> Error e
+    | Ok () ->
+        run_validated ~memo:p.p_memo ~config ~prefix:p.p_prefix graph
+          p.p_query
+  else run_validated ~memo:p.p_memo ~config ~prefix:p.p_prefix graph p.p_query
+
+(** [execute p params graph] is {!execute_full} reduced to the updated
+    graph and output table. *)
+let execute (p : prepared) params graph :
+    (outcome, Errors.t) Stdlib.result =
+  match execute_full p params graph with
+  | Error e -> Error e
+  | Ok r -> Ok { graph = r.r_graph; table = r.r_table }
 
 (** [run_string ~config graph src] parses, validates and executes one
-    statement. *)
+    statement; {!run_string_full} reduced to the graph and table.  Like
+    it, statements referencing unbound parameters are rejected up front
+    with the [$param]'s source position. *)
 let run_string ?(config = Config.revised) graph src =
-  match parse ~dialect:config.Config.dialect src with
+  match run_string_full ~config graph src with
   | Error e -> Error e
-  | Ok q -> run_query ~config graph q
+  | Ok r -> Ok { graph = r.r_graph; table = r.r_table }
 
 (** [run_program ~config graph src] executes a [;]-separated sequence of
     statements, threading the graph; returns the final graph and the

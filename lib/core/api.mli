@@ -47,15 +47,69 @@ val run_query_full :
   Graph.t -> Cypher_ast.Ast.query -> (result, Errors.t) Stdlib.result
 
 (** [run_string ~config graph src] parses, validates and executes one
-    statement. *)
+    statement; {!run_string_full} reduced to the graph and table, so it
+    too recognises [EXPLAIN] / [PROFILE] prefixes and rejects unbound
+    [$param]s up front with their source position. *)
 val run_string :
   ?config:Config.t -> Graph.t -> string -> (outcome, Errors.t) Stdlib.result
 
 (** [run_string_full ~config graph src] parses one statement —
     recognising an optional [EXPLAIN] / [PROFILE] prefix — validates and
-    executes it. *)
+    executes it.  Statements referencing parameters absent from
+    [config.params] are rejected up front with an {!Errors.Eval_error}
+    carrying the [$param]'s source position ([EXPLAIN] skips the check —
+    it never evaluates anything). *)
 val run_string_full :
   ?config:Config.t -> Graph.t -> string -> (result, Errors.t) Stdlib.result
+
+(** {2 Prepared statements}
+
+    A compiled statement: parsed, validated, and carrying a memo of
+    hoisted match plans, so repeat executions (under fresh parameter
+    bindings) skip lexing, parsing, validation and match planning.
+    Compiled once with {!prepare}, executed any number of times with
+    {!execute} / {!execute_full}, against different graphs and parameter
+    bindings.  The plan memo invalidates itself whenever the graph's
+    property-index key set changes, so no stale plan survives an index
+    registration. *)
+
+type prepared
+
+(** [prepare ~config src] compiles one statement (parse, recognising
+    [EXPLAIN] / [PROFILE]; validate against the configured dialect;
+    attach an empty plan memo). *)
+val prepare :
+  ?config:Config.t -> string -> (prepared, Errors.t) Stdlib.result
+
+(** [execute p params graph] runs the compiled statement with the given
+    parameter bindings ([params] override bindings already present in
+    the preparation config).  Parameters the statement references but
+    that are not supplied are rejected up front, with their source
+    position. *)
+val execute :
+  prepared ->
+  Value.t Cypher_util.Maps.Smap.t ->
+  Graph.t ->
+  (outcome, Errors.t) Stdlib.result
+
+(** [execute_full p params graph] is {!execute} with the full
+    {!result} (plan and profile under an EXPLAIN / PROFILE prefix). *)
+val execute_full :
+  prepared ->
+  Value.t Cypher_util.Maps.Smap.t ->
+  Graph.t ->
+  (result, Errors.t) Stdlib.result
+
+(** Parameters the compiled statement references: name and (line,
+    column) of the first occurrence, in first-occurrence order. *)
+val prepared_params : prepared -> (string * (int * int)) list
+
+(** The statement text the compilation started from, verbatim. *)
+val prepared_source : prepared -> string
+
+(** [prepared_plan p graph] renders the execution plan the statement
+    would use against [graph] (an EXPLAIN without executing). *)
+val prepared_plan : prepared -> Graph.t -> string
 
 (** [run_program ~config graph src] executes a [;]-separated sequence of
     statements, threading the graph; returns the final graph and the

@@ -51,6 +51,9 @@ type t = {
           collection overhead away *)
   dialect : Cypher_ast.Validate.dialect;
   params : Value.t Smap.t;
+  plan_cache_capacity : int;
+      (** maximum number of compiled statements a {!Session} keeps in
+          its LRU plan cache; [0] disables caching entirely *)
 }
 
 (** Parses a [CYPHER_PARALLELISM]-style value: unset/empty/"0"/invalid
@@ -76,13 +79,15 @@ let default_parallelism =
 let cypher9 =
   { mode = Legacy; order = Forward; match_mode = Isomorphic; planner = Off;
     parallelism = default_parallelism; durability = Fsync; collect_stats = true;
-    dialect = Cypher_ast.Validate.Cypher9; params = Smap.empty }
+    dialect = Cypher_ast.Validate.Cypher9; params = Smap.empty;
+    plan_cache_capacity = 128 }
 
 (** The paper's revised language: atomic semantics, Figure 10 grammar. *)
 let revised =
   { mode = Atomic; order = Forward; match_mode = Isomorphic; planner = On;
     parallelism = default_parallelism; durability = Fsync; collect_stats = true;
-    dialect = Cypher_ast.Validate.Revised; params = Smap.empty }
+    dialect = Cypher_ast.Validate.Revised; params = Smap.empty;
+    plan_cache_capacity = 128 }
 
 (** Everything the parser accepts, atomic semantics: used to experiment
     with the Section 6 proposal variants (MERGE GROUPING / WEAK /
@@ -90,7 +95,8 @@ let revised =
 let permissive =
   { mode = Atomic; order = Forward; match_mode = Isomorphic; planner = On;
     parallelism = default_parallelism; durability = Fsync; collect_stats = true;
-    dialect = Cypher_ast.Validate.Permissive; params = Smap.empty }
+    dialect = Cypher_ast.Validate.Permissive; params = Smap.empty;
+    plan_cache_capacity = 128 }
 
 let with_order order t = { t with order }
 let with_match_mode match_mode t = { t with match_mode }
@@ -101,6 +107,8 @@ let with_stats collect_stats t = { t with collect_stats }
 let with_params params t = { t with params }
 
 let with_param name v t = { t with params = Smap.add name v t.params }
+
+let with_plan_cache_capacity n t = { t with plan_cache_capacity = max 0 n }
 
 (** [arrange_rows config rows] applies the configured record order;
     identity under [Forward]. *)

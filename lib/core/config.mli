@@ -54,6 +54,9 @@ type t = {
           itself can be benchmarked away. *)
   dialect : Cypher_ast.Validate.dialect;
   params : Value.t Smap.t;
+  plan_cache_capacity : int;
+      (** Maximum number of compiled statements a {!Session} keeps in
+          its LRU plan cache; [0] disables caching entirely. *)
 }
 
 (** Parses a [CYPHER_PARALLELISM]-style value: unset/empty/"0"/invalid
@@ -91,6 +94,10 @@ val with_durability : durability -> t -> t
 val with_stats : bool -> t -> t
 val with_params : Value.t Smap.t -> t -> t
 val with_param : string -> Value.t -> t -> t
+
+(** [with_plan_cache_capacity n t] bounds the session plan cache
+    (clamped at 0; 0 disables caching). *)
+val with_plan_cache_capacity : int -> t -> t
 
 (** [arrange_rows config rows] applies the configured record order;
     identity under [Forward]. *)

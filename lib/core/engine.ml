@@ -12,8 +12,50 @@ open Cypher_ast.Ast
 module Ctx = Cypher_eval.Ctx
 module Eval = Cypher_eval.Eval
 module Matcher = Cypher_matcher.Matcher
+module Plan = Cypher_matcher.Plan
 
 let ctx_of config graph row = Runtime.ctx config graph row
+
+(* ------------------------------------------------------------------ *)
+(* Plan memo                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Cross-execution cache of hoisted match plans, carried by a prepared
+    statement ({!Api.prepare}).  Slots are keyed by the statement's
+    top-level clause index — stable across executions of the same
+    compiled query, which also fixes each clause's driving-table columns
+    and hence variable boundness, the only per-row input plan choice
+    depends on.  The memo remembers the property-index key set it was
+    filled under and drops every slot when that set changes, so a plan
+    compiled before [Graph.add_prop_index] is never served afterwards
+    (stale plans are merely suboptimal, never incorrect — planned
+    matching re-filters candidates — but a cached label scan would
+    silently forfeit the index). *)
+module Plan_memo = struct
+  type t = {
+    mutable slots : (int * Plan.t option list) list;
+    mutable fingerprint : (string * string) list;
+  }
+
+  let create () = { slots = []; fingerprint = [] }
+
+  let clear t =
+    t.slots <- [];
+    t.fingerprint <- []
+
+  (** Invalidate when the graph's property-index key set differs from
+      the one the memo was filled under. *)
+  let sync t g =
+    let fp = Graph.prop_index_keys g in
+    if fp <> t.fingerprint then (
+      t.slots <- [];
+      t.fingerprint <- fp)
+
+  let find t key = List.assoc_opt key t.slots
+
+  let store t key plans =
+    t.slots <- (key, plans) :: List.remove_assoc key t.slots
+end
 
 (* ------------------------------------------------------------------ *)
 (* Reading clauses                                                    *)
@@ -25,11 +67,61 @@ let ctx_of config graph row = Runtime.ctx config graph row
    unobservable: the ordered gather reproduces the serial row order
    exactly (DESIGN.md, "Parallel read phases"). *)
 
-let exec_match config (g, t) ~optional ~patterns ~where =
+(* Plan hoisting: within one MATCH execution every driving row has the
+   same columns, so plan choice (which depends on variable boundness and
+   graph statistics only) is uniform across rows and can be computed
+   once from a representative row instead of per row.  The exception is
+   a multi-pattern MATCH whose later patterns reference variables bound
+   by earlier patterns of the same clause: the old per-state planning
+   saw those intermediate bindings, so such clauses keep per-row
+   planning to preserve plan choice (and thus row order) exactly. *)
+let hoistable columns patterns =
+  let referenced p = expr_free_vars (Pattern_pred [ p ]) in
+  let rec go bound = function
+    | [] -> true
+    | p :: rest ->
+        List.for_all (fun v -> not (List.mem v bound)) (referenced p)
+        && go
+             (List.filter (fun v -> not (List.mem v columns)) (pattern_vars p)
+             @ bound)
+             rest
+  in
+  go [] patterns
+
+let hoisted_plans ?slot config g t patterns =
+  if not (Runtime.planner_on config) then None
+  else
+    match Table.rows t with
+    | [] -> None
+    | row0 :: _ ->
+        if not (hoistable (Table.columns t) patterns) then None
+        else
+          let fresh () =
+            let ctx = ctx_of config g row0 in
+            List.map (fun p -> Plan.make ctx row0 p) patterns
+          in
+          Some
+            (match slot with
+            | None -> fresh ()
+            | Some (memo, key) -> (
+                Plan_memo.sync memo g;
+                match Plan_memo.find memo key with
+                | Some plans -> plans
+                | None ->
+                    let plans = fresh () in
+                    (* never memoize plans made against an empty graph:
+                       they are all [None] and would pin naive matching
+                       after the graph grows *)
+                    if Graph.node_count g > 0 then
+                      Plan_memo.store memo key plans;
+                    plans))
+
+let exec_match ?slot config (g, t) ~optional ~patterns ~where =
   let vars = List.concat_map pattern_vars patterns in
   let columns = Table.columns t @ vars in
+  let plans = hoisted_plans ?slot config g t patterns in
   let expand row =
-    let matches = Matcher.match_patterns ~mode:(Runtime.match_mode_of config) ~planner:(Runtime.planner_on config) (ctx_of config g row) patterns in
+    let matches = Matcher.match_patterns ~mode:(Runtime.match_mode_of config) ~planner:(Runtime.planner_on config) ?plans (ctx_of config g row) patterns in
     let matches =
       match where with
       | None -> matches
@@ -146,17 +238,26 @@ let profile_clause profile c f =
         :: !acc;
       (g, t)
 
-let rec exec_query config ~stats ?profile (g, t) (q : query) =
+let rec exec_query config ~stats ?profile ?memo ~counter (g, t) (q : query) =
   let g, t1 =
     List.fold_left
       (fun (g, t) c ->
-        profile_clause profile c (fun () -> exec_clause config ~stats (g, t) c))
+        let key = !counter in
+        incr counter;
+        profile_clause profile c (fun () ->
+            match c with
+            | Match { optional; patterns; where } ->
+                let slot = Option.map (fun m -> (m, key)) memo in
+                exec_match ?slot config (g, t) ~optional ~patterns ~where
+            | c -> exec_clause config ~stats (g, t) c))
       (g, t) q.clauses
   in
   match q.union with
   | None -> (g, t1)
   | Some (all, q') ->
-      let g, t2 = exec_query config ~stats ?profile (g, Table.unit) q' in
+      let g, t2 =
+        exec_query config ~stats ?profile ?memo ~counter (g, Table.unit) q'
+      in
       if Table.columns t1 <> Table.columns t2 then
         Errors.eval_error
           "UNION branches must produce the same columns (%s vs %s)"
@@ -169,8 +270,10 @@ let rec exec_query config ~stats ?profile (g, t) (q : query) =
     statement on the unit table.  Under the legacy regime, graph validity
     is only checked here, at the statement boundary — mirroring Neo4j's
     commit-time dangling check (Section 4.2). *)
-let output ?(stats = Stats.null) ?profile config g (q : query) =
-  let g', t' = exec_query config ~stats ?profile (g, Table.unit) q in
+let output ?(stats = Stats.null) ?profile ?memo config g (q : query) =
+  let g', t' =
+    exec_query config ~stats ?profile ?memo ~counter:(ref 0) (g, Table.unit) q
+  in
   Stats.set_rows stats (Table.row_count t');
   (match config.Config.mode with
   | Config.Legacy ->

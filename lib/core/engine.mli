@@ -8,6 +8,18 @@
 open Cypher_graph
 open Cypher_table
 
+(** Cross-execution cache of hoisted match plans, carried by a prepared
+    statement ({!Api.prepare}).  Slots are keyed by top-level clause
+    index; the memo remembers the property-index key set it was filled
+    under and invalidates itself when that set changes, so a plan
+    compiled before an index registration is never served afterwards. *)
+module Plan_memo : sig
+  type t
+
+  val create : unit -> t
+  val clear : t -> unit
+end
+
 (** [exec_clause config ~stats (g, t) c] is [[c]](g, t); update clauses
     record what they do into [stats] (pass {!Stats.null} to collect
     nothing).
@@ -20,11 +32,16 @@ val exec_clause :
 (** Executes a query on a graph–table pair.  UNION branches run
     left-to-right, each on the unit table against the graph produced by
     the previous branch; their output tables are combined by bag union
-    (UNION ALL) or set union (UNION), as in Section 8.2. *)
+    (UNION ALL) or set union (UNION), as in Section 8.2.  [memo] (with
+    [counter] numbering the top-level clauses) lets repeated executions
+    of the same compiled query reuse hoisted match plans; see
+    {!Plan_memo}. *)
 val exec_query :
   Config.t ->
   stats:Stats.collector ->
   ?profile:Stats.profile_entry list ref ->
+  ?memo:Plan_memo.t ->
+  counter:int ref ->
   Graph.t * Table.t -> Cypher_ast.Ast.query -> Graph.t * Table.t
 
 (** [output ?stats ?profile config g q] is output(Q, G) of Section 8.1:
@@ -37,4 +54,5 @@ val exec_query :
 val output :
   ?stats:Stats.collector ->
   ?profile:Stats.profile_entry list ref ->
+  ?memo:Plan_memo.t ->
   Config.t -> Graph.t -> Cypher_ast.Ast.query -> Graph.t * Table.t

@@ -40,14 +40,91 @@ type t = {
   mutable pending : journal_entry list list;
       (** one buffer per open transaction, innermost first; each buffer
           holds its entries newest-first *)
+  mutable cache : Api.prepared Plan_cache.t;
+      (** LRU of compiled statements, keyed on normalized statement text
+          plus the config fingerprint below *)
+  mutable fingerprint : string;
+      (** [config_fingerprint config], maintained by {!set_config} so
+          cache hits don't re-render it per statement *)
 }
-
-let create ?(config = Config.revised) graph =
-  { graph; config; snapshots = []; journal = None; pending = [] }
 
 let graph s = s.graph
 let config s = s.config
-let set_config s config = s.config <- config
+
+
+(* The plan-cache key is the normalized statement text plus the config
+   fields that change what compilation produces: the dialect decides
+   validation, planner/match_mode/mode/order/parallelism/collect_stats
+   decide plan choice and execution strategy.  Parameters are
+   deliberately excluded — rebinding values must hit — as is journal
+   durability, which only affects how the storage layer flushes. *)
+let config_fingerprint (c : Config.t) =
+  Printf.sprintf "%s|%s|%s|%s|%d|%b|%s"
+    (match c.Config.mode with Config.Legacy -> "legacy" | Config.Atomic -> "atomic")
+    (match c.Config.order with
+    | Config.Forward -> "fwd"
+    | Config.Reverse -> "rev"
+    | Config.Seeded n -> "seed" ^ string_of_int n)
+    (match c.Config.match_mode with
+    | Config.Isomorphic -> "iso"
+    | Config.Homomorphic -> "homo")
+    (match c.Config.planner with Config.On -> "on" | Config.Off -> "off")
+    c.Config.parallelism c.Config.collect_stats
+    (match c.Config.dialect with
+    | Cypher_ast.Validate.Cypher9 -> "cypher9"
+    | Cypher_ast.Validate.Revised -> "revised"
+    | Cypher_ast.Validate.Permissive -> "permissive")
+
+let create ?(config = Config.revised) graph =
+  {
+    graph;
+    config;
+    snapshots = [];
+    journal = None;
+    pending = [];
+    cache = Plan_cache.create config.Config.plan_cache_capacity;
+    fingerprint = config_fingerprint config;
+  }
+
+(* Normalization: surrounding whitespace and a trailing [;] never change
+   what a statement compiles to. *)
+let normalize_src src =
+  let src = String.trim src in
+  let n = String.length src in
+  if n > 0 && src.[n - 1] = ';' then String.trim (String.sub src 0 (n - 1))
+  else src
+
+
+(** [set_config s config] swaps the session configuration.  A change to
+    any field of the plan-cache key (semantics mode, record order, match
+    mode, planner, parallelism, stats collection, dialect) invalidates
+    the cached compiled statements — a plan chosen under the old config
+    must not be served under the new one; parameter rebinding does not
+    invalidate.  Changing the cache capacity rebuilds the cache. *)
+let set_config s config =
+  let old = s.config in
+  let fp = config_fingerprint config in
+  let fp_changed = fp <> s.fingerprint in
+  s.config <- config;
+  s.fingerprint <- fp;
+  if
+    config.Config.plan_cache_capacity
+    <> old.Config.plan_cache_capacity
+  then s.cache <- Plan_cache.create config.Config.plan_cache_capacity
+  else if fp_changed then Plan_cache.invalidate s.cache
+
+(** Plan-cache hit/miss/eviction/invalidation counters. *)
+let cache_stats s = Plan_cache.stats s.cache
+
+(** [register_prop_index s ~label ~key] builds the (label, key) property
+    index on the session graph and invalidates the plan cache: compiled
+    statements carry plans chosen without the index, and serving them
+    would silently forfeit it.  (Each compiled statement's plan memo
+    additionally checks the graph's index key set on every execution, so
+    even externally swapped graphs can never be served stale plans.) *)
+let register_prop_index s ~label ~key =
+  s.graph <- Graph.add_prop_index ~label ~key s.graph;
+  Plan_cache.invalidate s.cache
 let set_journal s sink = s.journal <- sink
 let journal_attached s = s.journal <> None
 
@@ -139,14 +216,60 @@ let advance s ~src (r : Api.result) =
             Ok r
         | Error m -> Error (Errors.Update_error m))
 
+(* Compile through the plan cache: a hit skips lexing, parsing,
+   validation and (via the statement's plan memo) match planning.
+   Compilation errors are not cached — error statements are not hot
+   paths, and caching them would mask later fixes to e.g. dialect. *)
+let compile s config src =
+  (* [effective_config] returns [s.config] itself unless a journal sink
+     rewrote it, so the common path reuses the maintained fingerprint
+     instead of re-rendering it for every statement *)
+  let fp =
+    if config == s.config then s.fingerprint else config_fingerprint config
+  in
+  let key = normalize_src src ^ "\x00" ^ fp in
+  match Plan_cache.find s.cache key with
+  | Some p -> Ok (p, `Hit)
+  | None -> (
+      match Api.prepare ~config src with
+      | Error e -> Error e
+      | Ok p ->
+          Plan_cache.add s.cache key p;
+          Ok (p, `Miss))
+
+(* Surfacing: EXPLAIN / PROFILE output grows a trailing cache-status
+   line, so the observability layer shows whether compilation was
+   served from the cache. *)
+let annotate_plan status (r : Api.result) =
+  match r.Api.r_plan with
+  | None -> r
+  | Some plan ->
+      let line =
+        match status with
+        | `Hit -> "plan cache: hit"
+        | `Miss -> "plan cache: miss"
+      in
+      { r with Api.r_plan = Some (plan ^ "\n" ^ line) }
+
 (** [run s src] executes one statement against the session graph —
     recognising EXPLAIN / PROFILE prefixes — and returns the full
     {!Api.result} (table, update counters, optional plan/profile); the
-    graph advances only on success (statement-level atomicity). *)
+    graph advances only on success (statement-level atomicity).
+
+    Statements compile through the session's LRU plan cache: a repeat
+    execution of the same (normalized) statement text under the same
+    config skips lexing, parsing, validation and match planning, and
+    resolves the current [config.params] against the cached compiled
+    statement.  Statements referencing unsupplied parameters fail up
+    front with the [$param]'s source position. *)
 let run s src : (Api.result, Errors.t) result =
-  match Api.run_string_full ~config:(effective_config s) s.graph src with
-  | Ok r -> advance s ~src r
+  let config = effective_config s in
+  match compile s config src with
   | Error e -> Error e
+  | Ok (p, status) -> (
+      match Api.execute_full p config.Config.params s.graph with
+      | Ok r -> advance s ~src (annotate_plan status r)
+      | Error e -> Error e)
 
 (** [run_query s q] is {!run} for a pre-parsed query.  Journaled source
     text is the pretty-printed statement (print/parse round-tripping is

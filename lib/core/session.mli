@@ -29,7 +29,21 @@ type journal_entry = {
 val create : ?config:Config.t -> Graph.t -> t
 val graph : t -> Graph.t
 val config : t -> Config.t
+
+(** [set_config s config] swaps the session configuration.  Changing any
+    field that affects compilation or plan choice (mode, order, match
+    mode, planner, parallelism, stats collection, dialect) invalidates
+    the plan cache; rebinding parameters does not.  Changing
+    [plan_cache_capacity] rebuilds the cache. *)
 val set_config : t -> Config.t -> unit
+
+(** Plan-cache hit / miss / eviction / invalidation counters. *)
+val cache_stats : t -> Plan_cache.stats
+
+(** [register_prop_index s ~label ~key] builds the (label, key) property
+    index on the session graph and invalidates the plan cache, so no
+    compiled statement keeps serving a plan chosen without the index. *)
+val register_prop_index : t -> label:string -> key:string -> unit
 
 (** [set_journal s sink] attaches (or, with [None], detaches) the
     journal sink.  While attached, update-counter collection is forced
@@ -57,7 +71,15 @@ val rollback : t -> (unit, string) result
 (** [run s src] executes one statement against the session graph —
     recognising EXPLAIN / PROFILE prefixes — and returns the full
     {!Api.result} (table, update counters, optional plan and profile);
-    the graph advances only on success (statement-level atomicity). *)
+    the graph advances only on success (statement-level atomicity).
+
+    Statements compile through the session's LRU plan cache
+    ({!Config.t.plan_cache_capacity}): a repeat execution of the same
+    normalized statement text under the same config skips lexing,
+    parsing, validation and match planning, resolving the current
+    [config.params] against the cached compiled statement.  Under
+    EXPLAIN / PROFILE the rendered plan gains a trailing
+    ["plan cache: hit|miss"] line. *)
 val run : t -> string -> (Api.result, Errors.t) result
 
 (** [run_query s q] is {!run} for a pre-parsed query; [prefix]

@@ -45,6 +45,9 @@ type oracle =
   | Durability
       (** journal + snapshot fault injection over the statement as a
           one-statement workload ({!Oracles.durability}) *)
+  | Prepared
+      (** literal-lifted prepare/execute must be byte-identical to the
+          direct run ({!Oracles.prepared}) *)
   | Eval of string  (** expected canonical rendering of the result table *)
   | Expect_error of string
       (** the statement must fail, with this {!Oracles.kind_name} *)
@@ -132,6 +135,7 @@ let parse_entry ~name text : (entry, string) result =
     | Some "counters", _ -> entry Counters
     | Some "dump", _ -> entry Dump
     | Some "durability", _ -> entry Durability
+    | Some "prepared", _ -> entry Prepared
     | Some "eval", Some expected -> entry (Eval expected)
     | Some "eval", None -> Error (name ^ ": eval entry without // expect:")
     | Some "error", Some kind -> entry (Expect_error kind)
@@ -148,6 +152,7 @@ let oracle_keyword = function
   | Counters -> "counters"
   | Dump -> "dump"
   | Durability -> "durability"
+  | Prepared -> "prepared"
   | Eval _ -> "eval"
   | Expect_error _ -> "error"
 
@@ -316,6 +321,7 @@ let check e : (unit, string) result =
                    (Errors.to_string err))
       | Ok o -> Oracles.dump_roundtrip o.Api.graph)
   | Durability -> Oracles.durability g q
+  | Prepared -> Oracles.prepared g q
   | Divergence -> (
       match Oracles.divergence g q with
       | Oracles.Agree | Oracles.Classified _ -> Ok ()

@@ -35,7 +35,14 @@
        the corresponding statement-boundary graph, and (d) truncating
        the journal at {e every byte} and corrupting {e every byte}
        yields precisely-reported damage and recovery to a statement
-       boundary — never a crash, never a silently different graph. *)
+       boundary — never a crash, never a silently different graph.
+    8. {!prepared}: prepared-statement equivalence.  Every (eligible)
+       literal of the statement is lifted into a [$p0..$pn] parameter
+       binding; the rewritten text is compiled once with {!Api.prepare}
+       and executed twice with the extracted bindings — the second
+       execution reuses the statement's memoized match plans — and both
+       executions must be byte-identical to the direct run (graph,
+       table, counters, error). *)
 
 open Cypher_ast.Ast
 open Cypher_util.Maps
@@ -753,6 +760,234 @@ let durability ?(extra = []) (g : Graph.t) q : (unit, string) result =
       | Ok _ ->
           Error (Fmt.str "corrupting snapshot byte %d went undetected" i))
     (List.init (String.length snapshot_img) Fun.id)
+
+(* ------------------------------------------------------------------ *)
+(* Oracle 8: prepared-statement / parameter equivalence               *)
+(* ------------------------------------------------------------------ *)
+
+let value_of_lit = function
+  | L_null -> Value.Null
+  | L_bool b -> Value.Bool b
+  | L_int i -> Value.Int i
+  | L_float f -> Value.Float f
+  | L_string s -> Value.String s
+
+(** [parameterize q] lifts the literals of [q] out into parameter
+    bindings [$p0..$pn], returning the rewritten query and the binding
+    map.  Literals in unaliased projection items stay put — the auto
+    column name is the printed expression, and [$p0] as a header would
+    be an observable (and sanctioned) difference, not a bug. *)
+let parameterize q =
+  let bindings = ref Smap.empty in
+  let counter = ref 0 in
+  let bind l =
+    let name = Printf.sprintf "p%d" !counter in
+    incr counter;
+    bindings := Smap.add name (value_of_lit l) !bindings;
+    Param name
+  in
+  let rec expr = function
+    | Lit l -> bind l
+    | (Var _ | Param _) as e -> e
+    | Prop (e, k) -> Prop (expr e, k)
+    | Has_labels (e, ls) -> Has_labels (expr e, ls)
+    | Not e -> Not (expr e)
+    | And (a, b) -> And (expr a, expr b)
+    | Or (a, b) -> Or (expr a, expr b)
+    | Xor (a, b) -> Xor (expr a, expr b)
+    | Cmp (op, a, b) -> Cmp (op, expr a, expr b)
+    | Bin (op, a, b) -> Bin (op, expr a, expr b)
+    | Neg e -> Neg (expr e)
+    | Is_null e -> Is_null (expr e)
+    | Is_not_null e -> Is_not_null (expr e)
+    | List_lit es -> List_lit (List.map expr es)
+    | Map_lit kvs -> Map_lit (List.map (fun (k, e) -> (k, expr e)) kvs)
+    | Index (e, i) -> Index (expr e, expr i)
+    | Slice (e, a, b) -> Slice (expr e, Option.map expr a, Option.map expr b)
+    | Str_op (op, a, b) -> Str_op (op, expr a, expr b)
+    | In_list (a, b) -> In_list (expr a, expr b)
+    | Fn (f, es) -> Fn (f, List.map expr es)
+    | Agg (k, d, e) -> Agg (k, d, Option.map expr e)
+    | Case c ->
+        Case
+          {
+            case_operand = Option.map expr c.case_operand;
+            case_whens =
+              List.map (fun (w, t) -> (expr w, expr t)) c.case_whens;
+            case_default = Option.map expr c.case_default;
+          }
+    | List_comp c ->
+        List_comp
+          {
+            c with
+            comp_source = expr c.comp_source;
+            comp_where = Option.map expr c.comp_where;
+            comp_body = Option.map expr c.comp_body;
+          }
+    | Quantifier c ->
+        Quantifier
+          { c with q_source = expr c.q_source; q_pred = expr c.q_pred }
+    | Reduce c ->
+        Reduce
+          {
+            c with
+            red_init = expr c.red_init;
+            red_source = expr c.red_source;
+            red_body = expr c.red_body;
+          }
+    | Pattern_pred ps -> Pattern_pred (List.map pattern ps)
+    | Pattern_comp c ->
+        Pattern_comp
+          {
+            pc_pattern = pattern c.pc_pattern;
+            pc_where = Option.map expr c.pc_where;
+            pc_body = expr c.pc_body;
+          }
+    | Shortest_path c ->
+        Shortest_path { c with sp_pattern = pattern c.sp_pattern }
+  and props ps = List.map (fun (k, e) -> (k, expr e)) ps
+  and node_pat np = { np with np_props = props np.np_props }
+  and rel_pat rp = { rp with rp_props = props rp.rp_props }
+  and pattern p =
+    {
+      p with
+      pat_start = node_pat p.pat_start;
+      pat_steps =
+        List.map (fun (r, n) -> (rel_pat r, node_pat n)) p.pat_steps;
+    }
+  in
+  let set_item = function
+    | Set_prop (e, k, v) -> Set_prop (expr e, k, expr v)
+    | Set_all_props (e, v) -> Set_all_props (expr e, expr v)
+    | Set_merge_props (e, v) -> Set_merge_props (expr e, expr v)
+    | Set_labels (e, ls) -> Set_labels (expr e, ls)
+  in
+  let remove_item = function
+    | Rem_prop (e, k) -> Rem_prop (expr e, k)
+    | Rem_labels (e, ls) -> Rem_labels (expr e, ls)
+  in
+  let proj_item it =
+    match it.item_alias with
+    | None -> it (* would change the auto column name *)
+    | Some _ -> { it with item_expr = expr it.item_expr }
+  in
+  let projection p =
+    {
+      p with
+      proj_items = List.map proj_item p.proj_items;
+      proj_order =
+        List.map (fun s -> { s with sort_expr = expr s.sort_expr }) p.proj_order;
+      proj_skip = Option.map expr p.proj_skip;
+      proj_limit = Option.map expr p.proj_limit;
+      proj_where = Option.map expr p.proj_where;
+    }
+  in
+  let rec clause = function
+    | Match m ->
+        Match
+          {
+            m with
+            patterns = List.map pattern m.patterns;
+            where = Option.map expr m.where;
+          }
+    | Unwind u -> Unwind { u with source = expr u.source }
+    | With p -> With (projection p)
+    | Return p -> Return (projection p)
+    | Create ps -> Create (List.map pattern ps)
+    | Set items -> Set (List.map set_item items)
+    | Remove items -> Remove (List.map remove_item items)
+    | Delete d -> Delete { d with targets = List.map expr d.targets }
+    | Merge m ->
+        Merge
+          {
+            m with
+            patterns = List.map pattern m.patterns;
+            on_create = List.map set_item m.on_create;
+            on_match = List.map set_item m.on_match;
+          }
+    | Foreach f ->
+        Foreach
+          {
+            f with
+            fe_source = expr f.fe_source;
+            fe_body = List.map clause f.fe_body;
+          }
+  in
+  let rec query q =
+    {
+      clauses = List.map clause q.clauses;
+      union = Option.map (fun (all, q') -> (all, query q')) q.union;
+    }
+  in
+  let q' = query q in
+  (q', !bindings)
+
+let result_summary (r : Cypher_core.Api.result) =
+  Fmt.str "columns=[%s] rows=%d"
+    (String.concat "," (Table.columns r.Api.r_table))
+    (Table.row_count r.Api.r_table)
+
+(** Oracle 8.  Lifts every (eligible) literal of the statement into a
+    [$p0..$pn] binding, compiles the rewritten text once with
+    {!Api.prepare}, executes it twice with the extracted bindings —
+    the second execution is served by the prepared statement's plan
+    memo — and requires both executions to be {e byte-identical} to the
+    direct (literal) run: same rendered graph, same rendered table,
+    same counters, same error.  This pins down the whole prepared
+    pipeline at once: parameter evaluation, the strict pre-execution
+    bound check, and plan reuse. *)
+let prepared (g : Graph.t) q : (unit, string) result =
+  let q', params = parameterize q in
+  let src = Pretty.query_to_string q' in
+  let direct = Api.run_query_full ~config:revised_planned g q in
+  let compare_run ~label (run : (Api.result, Errors.t) result) =
+    match (direct, run) with
+    | Error e1, Error e2 ->
+        if Errors.to_string e1 = Errors.to_string e2 then Ok ()
+        else
+          Error
+            (Fmt.str "%s error differs: direct %S vs prepared %S" label
+               (Errors.to_string e1) (Errors.to_string e2))
+    | Ok _, Error e ->
+        Error
+          (Fmt.str "%s fails (%s) where the direct run succeeds" label
+             (Errors.to_string e))
+    | Error e, Ok _ ->
+        Error
+          (Fmt.str "direct run fails (%s) where %s succeeds"
+             (Errors.to_string e) label)
+    | Ok r1, Ok r2 ->
+        if Graph.to_string r1.Api.r_graph <> Graph.to_string r2.Api.r_graph
+        then Error (label ^ " result graph is not byte-identical")
+        else if
+          Table.to_string r1.Api.r_table <> Table.to_string r2.Api.r_table
+        then
+          Error
+            (Fmt.str "%s result table differs: %s vs %s" label
+               (result_summary r1) (result_summary r2))
+        else if not (Cypher_core.Stats.equal r1.Api.r_stats r2.Api.r_stats)
+        then
+          Error
+            (Fmt.str "%s counters differ: %s vs %s" label
+               (Cypher_core.Stats.to_string r1.Api.r_stats)
+               (Cypher_core.Stats.to_string r2.Api.r_stats))
+        else Ok ()
+  in
+  match Api.prepare ~config:revised_planned src with
+  | Error e -> (
+      (* the rewrite cannot introduce a compile error the direct run
+         does not have *)
+      match direct with
+      | Error e' when error_kind e = error_kind e' -> Ok ()
+      | _ ->
+          Error
+            (Fmt.str "prepare of %S failed: %s" src (Errors.to_string e)))
+  | Ok p -> (
+      match compare_run ~label:"first execute" (Api.execute_full p params g) with
+      | Error _ as e -> e
+      | Ok () ->
+          compare_run ~label:"second (memoized) execute"
+            (Api.execute_full p params g))
 
 let wellformed g q : (unit, string) result =
   match run revised_planned g q with

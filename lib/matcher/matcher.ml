@@ -373,20 +373,39 @@ let match_pattern ?(planner = false) (ctx : Ctx.t) st (p : pattern) :
   | Some plan -> match_pattern_planned ctx st p plan
   | None -> match_pattern_naive ctx st p
 
-(** [match_patterns ?mode ?planner ctx patterns] computes all extensions
-    of the context row that embed every pattern; under the default [Iso]
-    mode relationship isomorphism is enforced across the whole pattern
-    tuple.  [planner] enables cost-guided anchor selection and hop
-    orientation (see {!Plan}); the result rows are the same either way,
-    possibly in a different order. *)
-let match_patterns ?(mode = Iso) ?(planner = false) (ctx : Ctx.t)
+(** [match_patterns ?mode ?planner ?plans ctx patterns] computes all
+    extensions of the context row that embed every pattern; under the
+    default [Iso] mode relationship isomorphism is enforced across the
+    whole pattern tuple.  [planner] enables cost-guided anchor selection
+    and hop orientation (see {!Plan}); the result rows are the same
+    either way, possibly in a different order.
+
+    [plans] supplies one precomputed plan option per pattern (as built
+    by {!Plan.make} against a representative row): plan selection
+    depends only on which variables are bound — uniform across the rows
+    of one driving table — and on graph statistics, so hoisting the
+    planning out of the per-row loop preserves the result rows while
+    eliminating the per-row planning cost.  A [None] entry means naive
+    enumeration for that pattern (what per-row planning would also have
+    chosen); a list shorter than [patterns] leaves the remaining
+    patterns on per-row planning. *)
+let match_patterns ?(mode = Iso) ?(planner = false) ?plans (ctx : Ctx.t)
     (patterns : pattern list) : Record.t list =
   let init = { row = ctx.row; used = Iset.empty; mode } in
+  let hints = Option.value ~default:[] plans in
+  let step_with hint st p =
+    match hint with
+    | Some (Some plan) -> match_pattern_planned ctx st p plan
+    | Some None -> match_pattern_naive ctx st p
+    | None -> match_pattern ~planner ctx st p
+  in
   let states =
     List.fold_left
-      (fun states p ->
-        List.concat_map (fun st -> match_pattern ~planner ctx st p) states)
-      [ init ] patterns
+      (fun (i, states) p ->
+        let hint = List.nth_opt hints i in
+        (i + 1, List.concat_map (fun st -> step_with hint st p) states))
+      (0, [ init ]) patterns
+    |> snd
   in
   List.map (fun st -> st.row) states
 

@@ -19,15 +19,22 @@ open Cypher_ast.Ast
     regimes ("suitable restrictions to guarantee finite outputs"). *)
 type mode = Iso | Homo
 
-(** [match_patterns ?mode ?planner ctx patterns] computes all extensions
-    of the context row that embed every pattern; under the default [Iso]
-    mode relationship isomorphism is enforced across the whole pattern
-    tuple.  [planner] (default off) enables cost-guided anchor selection
-    and hop orientation (see {!Plan}); the result rows are the same
-    either way, possibly in a different order. *)
+(** [match_patterns ?mode ?planner ?plans ctx patterns] computes all
+    extensions of the context row that embed every pattern; under the
+    default [Iso] mode relationship isomorphism is enforced across the
+    whole pattern tuple.  [planner] (default off) enables cost-guided
+    anchor selection and hop orientation (see {!Plan}); the result rows
+    are the same either way, possibly in a different order.
+
+    [plans] optionally supplies one precomputed plan per pattern
+    (hoisted out of the per-row loop by the engine — plan choice depends
+    only on variable boundness and graph statistics, both uniform across
+    one driving table); [Some None] entries run naive enumeration, and
+    missing entries fall back to per-row planning. *)
 val match_patterns :
   ?mode:mode ->
   ?planner:bool ->
+  ?plans:Plan.t option list ->
   Cypher_eval.Ctx.t ->
   pattern list ->
   Record.t list

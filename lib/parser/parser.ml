@@ -16,7 +16,15 @@ let error_to_string e =
 
 exception Parse_error of error
 
-type state = { toks : Token.t array; mutable idx : int }
+type state = {
+  toks : Token.t array;
+  mutable idx : int;
+  mutable params : (string * (int * int)) list;
+      (* every [$name] occurrence with its source position, in reverse
+         token order; harvested by [parse_statement_params] *)
+}
+
+let make_state toks = { toks = Array.of_list toks; idx = 0; params = [] }
 
 let cur st = st.toks.(st.idx)
 let cur_kind st = (cur st).Token.kind
@@ -283,6 +291,8 @@ and parse_atom st =
       advance st;
       Lit (L_string s)
   | Token.Param p ->
+      let tok = cur st in
+      st.params <- (p, (tok.Token.line, tok.Token.col)) :: st.params;
       advance st;
       Param p
   | Token.Lparen ->
@@ -898,7 +908,7 @@ let parse_string src : (query, error) result =
   match Lexer.tokenize src with
   | Error { Lexer.message; line; col } -> Error { message; line; col }
   | Ok toks -> (
-      let st = { toks = Array.of_list toks; idx = 0 } in
+      let st = make_state toks in
       try
         let q = parse_query st in
         let _ = parse_statement_end st in
@@ -912,7 +922,7 @@ let parse_program src : (query list, error) result =
   match Lexer.tokenize src with
   | Error { Lexer.message; line; col } -> Error { message; line; col }
   | Ok toks -> (
-      let st = { toks = Array.of_list toks; idx = 0 } in
+      let st = make_state toks in
       try
         let rec loop acc =
           if cur_kind st = Token.Eof then List.rev acc
@@ -938,7 +948,7 @@ let parse_statement src : (prefix * query, error) result =
   match Lexer.tokenize src with
   | Error { Lexer.message; line; col } -> Error { message; line; col }
   | Ok toks -> (
-      let st = { toks = Array.of_list toks; idx = 0 } in
+      let st = make_state toks in
       try
         let prefix =
           if eat_kw st "EXPLAIN" then Explain
@@ -952,6 +962,36 @@ let parse_statement src : (prefix * query, error) result =
         Ok (prefix, q)
       with Parse_error e -> Error e)
 
+(** [parse_statement_params src] is {!parse_statement} plus the list of
+    [$name] parameters the statement references, each with the source
+    position (line, column) of its first occurrence, in first-occurrence
+    order. *)
+let parse_statement_params src :
+    (prefix * query * (string * (int * int)) list, error) result =
+  match Lexer.tokenize src with
+  | Error { Lexer.message; line; col } -> Error { message; line; col }
+  | Ok toks -> (
+      let st = make_state toks in
+      try
+        let prefix =
+          if eat_kw st "EXPLAIN" then Explain
+          else if eat_kw st "PROFILE" then Profile
+          else Plain
+        in
+        let q = parse_query st in
+        let _ = parse_statement_end st in
+        if cur_kind st <> Token.Eof then
+          fail st "unexpected %s after query" (Token.describe (cur_kind st));
+        let params =
+          List.fold_left
+            (fun acc (name, pos) ->
+              if List.mem_assoc name acc then acc else (name, pos) :: acc)
+            []
+            (List.rev st.params)
+        in
+        Ok (prefix, q, List.rev params)
+      with Parse_error e -> Error e)
+
 (** [parse_statements src] parses a [;]-separated sequence of
     statements, recognising the [EXPLAIN] / [PROFILE] prefix on each
     (the script-file counterpart of {!parse_statement}). *)
@@ -959,7 +999,7 @@ let parse_statements src : ((prefix * query) list, error) result =
   match Lexer.tokenize src with
   | Error { Lexer.message; line; col } -> Error { message; line; col }
   | Ok toks -> (
-      let st = { toks = Array.of_list toks; idx = 0 } in
+      let st = make_state toks in
       try
         let rec loop acc =
           if cur_kind st = Token.Eof then List.rev acc
@@ -984,7 +1024,7 @@ let parse_expr_string src : (expr, error) result =
   match Lexer.tokenize src with
   | Error { Lexer.message; line; col } -> Error { message; line; col }
   | Ok toks -> (
-      let st = { toks = Array.of_list toks; idx = 0 } in
+      let st = make_state toks in
       try
         let e = parse_expr st in
         if cur_kind st <> Token.Eof then

@@ -24,6 +24,13 @@ type prefix = Plain | Explain | Profile
 val parse_statement :
   string -> (prefix * Cypher_ast.Ast.query, error) result
 
+(** [parse_statement_params src] is {!parse_statement} plus the list of
+    [$name] parameters the statement references, each with the (line,
+    column) of its first occurrence, in first-occurrence order. *)
+val parse_statement_params :
+  string ->
+  (prefix * Cypher_ast.Ast.query * (string * (int * int)) list, error) result
+
 (** [parse_program src] parses a [;]-separated sequence of queries. *)
 val parse_program : string -> (Cypher_ast.Ast.query list, error) result
 

@@ -33,8 +33,10 @@ type t = {
 }
 
 (* Each record replays under the semantics it was originally executed
-   with; the dialect is permissive because validation already happened
-   at original execution time, and stricter dialects must not reject a
+   with — including its recorded parameter bindings, so parameterized
+   statements re-execute with exactly the values they originally saw.
+   The dialect is permissive because validation already happened at
+   original execution time, and stricter dialects must not reject a
    statement the journal proves was accepted.  Counters are forced on —
    they are the replay checksum. *)
 let config_of_record (r : Wal.record) : Config.t =
@@ -45,6 +47,7 @@ let config_of_record (r : Wal.record) : Config.t =
     match_mode = r.Wal.match_mode;
     parallelism = 0;
     collect_stats = true;
+    params = r.Wal.params;
   }
 
 (** [replay base records] re-executes [records] in order on top of

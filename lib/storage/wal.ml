@@ -22,9 +22,20 @@
     source:
 
     {v
-    m=<legacy|atomic> o=<fwd|rev|seed:N> x=<iso|homo> s=<11 counters>\n
+    m=<legacy|atomic> o=<fwd|rev|seed:N> x=<iso|homo> s=<11 counters> [p=<params>]\n
     <statement text, possibly multi-line>
     v}
+
+    The optional [p=] field carries the statement's bound parameter
+    values — a percent-encoded Cypher map literal (['%'], [' '], CR and
+    LF escaped as [%XX], keeping the metadata line single-line and
+    space-splittable) — so replay reproduces a parameterized execution
+    exactly.  It is omitted when no parameters were bound, which also
+    keeps the frame byte-identical to the pre-parameter format;
+    {!decode_meta} accepts both.  Parameters must be storable values
+    (graph entities cannot outlive the statement): journaling a
+    statement whose bindings contain a node, relationship or path
+    fails the statement rather than writing an unreplayable record.
 
     The CRC-32 covers the payload bytes exactly.  A crash can only
     damage the journal's tail (the file is append-only and records are
@@ -34,6 +45,8 @@
     catches every single-byte corruption, so a damaged record is never
     silently replayed. *)
 
+open Cypher_util.Maps
+open Cypher_graph
 open Cypher_core
 
 type record = {
@@ -42,6 +55,8 @@ type record = {
   mode : Config.mode;
   order : Config.order;
   match_mode : Config.match_mode;
+  params : Value.t Smap.t;
+      (** parameter bindings the statement ran under (empty when none) *)
 }
 
 (** Where and why a scan stopped before the end of the input. *)
@@ -123,11 +138,83 @@ let decode_match = function
   | "homo" -> Some Config.Homomorphic
   | _ -> None
 
+(* Percent-encoding for the [p=] field: the metadata line is split on
+   spaces and terminated by a newline, so those bytes (and '%' itself,
+   plus CR for symmetry) must not appear in the encoded value. *)
+let pct_encode s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '%' | ' ' | '\n' | '\r' ->
+          Buffer.add_string buf (Printf.sprintf "%%%02x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let pct_decode s : string option =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Some (Char.code c - Char.code '0')
+    | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+    | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+    | _ -> None
+  in
+  let rec go i =
+    if i >= n then Some (Buffer.contents buf)
+    else if s.[i] = '%' then
+      if i + 2 >= n then None
+      else
+        match (hex s.[i + 1], hex s.[i + 2]) with
+        | Some h, Some l ->
+            Buffer.add_char buf (Char.chr ((h * 16) + l));
+            go (i + 3)
+        | _ -> None
+    else begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+  in
+  go 0
+
+(* Parameter bindings travel as a percent-encoded Cypher map literal:
+   [Dump.value_literal] renders every storable value as an expression
+   that evaluates back to exactly itself, and decoding re-parses and
+   re-evaluates it with the ordinary parser and evaluator — no second
+   serialization format to keep in sync.  Entity values (nodes,
+   relationships, paths) make [value_literal] raise, which surfaces as
+   a journal-append failure for the offending statement. *)
+let encode_params (params : Value.t Smap.t) : string =
+  pct_encode (Dump.value_literal (Value.Map params))
+
+let decode_params s : Value.t Smap.t option =
+  match pct_decode s with
+  | None -> None
+  | Some txt -> (
+      match Cypher_parser.Parser.parse_expr_string txt with
+      | Error _ -> None
+      | Ok e -> (
+          try
+            match
+              Cypher_eval.Eval.eval
+                (Cypher_eval.Ctx.make Graph.empty Cypher_table.Record.empty)
+                e
+            with
+            | Value.Map m -> Some m
+            | _ -> None
+          with _ -> None))
+
 let encode_meta r =
-  Printf.sprintf "m=%s o=%s x=%s s=%s" (encode_mode r.mode)
-    (encode_order r.order)
-    (encode_match r.match_mode)
-    (encode_stats r.stats)
+  let base =
+    Printf.sprintf "m=%s o=%s x=%s s=%s" (encode_mode r.mode)
+      (encode_order r.order)
+      (encode_match r.match_mode)
+      (encode_stats r.stats)
+  in
+  if Smap.is_empty r.params then base
+  else base ^ " p=" ^ encode_params r.params
 
 let decode_meta line src : record option =
   let field prefix s =
@@ -136,17 +223,22 @@ let decode_meta line src : record option =
       Some (String.sub s pl (String.length s - pl))
     else None
   in
+  let finish m o x s params =
+    match
+      ( Option.bind (field "m=" m) decode_mode,
+        Option.bind (field "o=" o) decode_order,
+        Option.bind (field "x=" x) decode_match,
+        Option.bind (field "s=" s) decode_stats,
+        params )
+    with
+    | Some mode, Some order, Some match_mode, Some stats, Some params ->
+        Some { src; stats; mode; order; match_mode; params }
+    | _ -> None
+  in
   match String.split_on_char ' ' line with
-  | [ m; o; x; s ] -> (
-      match
-        ( Option.bind (field "m=" m) decode_mode,
-          Option.bind (field "o=" o) decode_order,
-          Option.bind (field "x=" x) decode_match,
-          Option.bind (field "s=" s) decode_stats )
-      with
-      | Some mode, Some order, Some match_mode, Some stats ->
-          Some { src; stats; mode; order; match_mode }
-      | _ -> None)
+  | [ m; o; x; s ] -> finish m o x s (Some Smap.empty)
+  | [ m; o; x; s; p ] ->
+      finish m o x s (Option.bind (field "p=" p) decode_params)
   | _ -> None
 
 (** [encode r] is the full frame for [r], header through trailing
@@ -281,4 +373,5 @@ let record_of_entry (e : Session.journal_entry) : record =
     mode = e.Session.je_config.Config.mode;
     order = e.Session.je_config.Config.order;
     match_mode = e.Session.je_config.Config.match_mode;
+    params = e.Session.je_config.Config.params;
   }

@@ -9,6 +9,7 @@
     of whole records, so a crash-torn tail is detected, reported, and
     truncated away by recovery — never silently replayed. *)
 
+open Cypher_graph
 open Cypher_core
 
 type record = {
@@ -17,6 +18,12 @@ type record = {
   mode : Config.mode;
   order : Config.order;
   match_mode : Config.match_mode;
+  params : Value.t Cypher_util.Maps.Smap.t;
+      (** parameter bindings the statement ran under (empty when none);
+          encoded as a percent-encoded Cypher map literal in an optional
+          [p=] metadata field, so pre-parameter journals still decode.
+          Bindings must be storable values — a record whose bindings
+          contain a graph entity cannot be encoded. *)
 }
 
 (** Where and why a scan stopped before the end of the input. *)

@@ -37,8 +37,9 @@ let run_ok s src =
       Alcotest.failf "session run failed: %s" (Cypher_core.Errors.to_string e)
 
 let record ?(mode = Config.Atomic) ?(order = Config.Forward)
-    ?(match_mode = Config.Isomorphic) ?(stats = Stats.empty) src =
-  { Wal.src; stats; mode; order; match_mode }
+    ?(match_mode = Config.Isomorphic) ?(stats = Stats.empty)
+    ?(params = Cypher_util.Maps.Smap.empty) src =
+  { Wal.src; stats; mode; order; match_mode; params }
 
 let some_stats =
   {
