@@ -1,10 +1,11 @@
 (* Command-line driver for the fuzzing/cross-validation subsystem.
 
-   Runs [n] generated cases through all eight oracles (round-trip,
+   Runs [n] generated cases through all nine oracles (round-trip,
    planner equivalence, parallel-vs-serial byte equivalence,
    legacy/revised divergence classification, result-graph
    well-formedness, update counters vs graph diff, durability
-   fault injection, prepared-statement equivalence) and exits non-zero
+   fault injection, prepared-statement equivalence,
+   persistent-vs-compact backend byte equivalence) and exits non-zero
    on any failure.  With
    [-corpus DIR], shrunk failures are appended as replayable corpus
    entries.  Wired to the [@fuzz] dune alias; [@par] runs the
@@ -32,7 +33,7 @@ let () =
       ( "-oracle",
         Arg.Set_string oracle_only,
         "NAME run only one oracle \
-         (roundtrip|planner|parallel|divergence|wellformed|counters|durability|prepared)" );
+         (roundtrip|planner|parallel|divergence|wellformed|counters|durability|prepared|backend)" );
     ]
   in
   Arg.parse spec
@@ -73,6 +74,7 @@ let () =
              in
              Oracles.durability ~extra g q
          | "prepared" -> Oracles.prepared g q
+         | "backend" -> Oracles.backend_equivalence g q
          | o -> raise (Arg.Bad ("unknown oracle " ^ o))
        in
        match outcome with

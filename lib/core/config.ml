@@ -38,6 +38,13 @@ type planner = On | Off
     sessions. *)
 type durability = Fsync | Buffered
 
+(** Physical graph layout serving reads — {!Graph.backend}.
+    [`Persistent] is the default persistent-map path; [`Compact] builds
+    CSR snapshots at read-phase boundaries (interned symbols, int
+    adjacency arrays, property arenas) for large graphs.  The two are
+    observationally identical (fuzz oracle 9). *)
+type backend = Graph.backend
+
 type t = {
   mode : mode;
   order : order;
@@ -54,6 +61,7 @@ type t = {
   plan_cache_capacity : int;
       (** maximum number of compiled statements a {!Session} keeps in
           its LRU plan cache; [0] disables caching entirely *)
+  backend : backend;
 }
 
 (** Parses a [CYPHER_PARALLELISM]-style value: unset/empty/"0"/invalid
@@ -74,20 +82,33 @@ let parallelism_of_string = function
 let default_parallelism =
   parallelism_of_string (Sys.getenv_opt "CYPHER_PARALLELISM")
 
+(** Parses a [CYPHER_BACKEND]-style value: "compact" selects the CSR
+    backend, anything else (including unset) the persistent default. *)
+let backend_of_string : string option -> backend = function
+  | Some "compact" -> `Compact
+  | _ -> `Persistent
+
+(** Process-wide default, read once from [CYPHER_BACKEND] at startup:
+    every stock configuration below starts from it, so
+    [CYPHER_BACKEND=compact dune exec ...] runs the whole process —
+    tests and fuzz oracles included — on the compact backend without
+    any code change. *)
+let default_backend = backend_of_string (Sys.getenv_opt "CYPHER_BACKEND")
+
 (** Cypher 9 as shipped: legacy update semantics, Figure 2–5 grammar,
     naive matching (its order-sensitive behaviours stay reproducible). *)
 let cypher9 =
   { mode = Legacy; order = Forward; match_mode = Isomorphic; planner = Off;
     parallelism = default_parallelism; durability = Fsync; collect_stats = true;
     dialect = Cypher_ast.Validate.Cypher9; params = Smap.empty;
-    plan_cache_capacity = 128 }
+    plan_cache_capacity = 128; backend = default_backend }
 
 (** The paper's revised language: atomic semantics, Figure 10 grammar. *)
 let revised =
   { mode = Atomic; order = Forward; match_mode = Isomorphic; planner = On;
     parallelism = default_parallelism; durability = Fsync; collect_stats = true;
     dialect = Cypher_ast.Validate.Revised; params = Smap.empty;
-    plan_cache_capacity = 128 }
+    plan_cache_capacity = 128; backend = default_backend }
 
 (** Everything the parser accepts, atomic semantics: used to experiment
     with the Section 6 proposal variants (MERGE GROUPING / WEAK /
@@ -96,7 +117,7 @@ let permissive =
   { mode = Atomic; order = Forward; match_mode = Isomorphic; planner = On;
     parallelism = default_parallelism; durability = Fsync; collect_stats = true;
     dialect = Cypher_ast.Validate.Permissive; params = Smap.empty;
-    plan_cache_capacity = 128 }
+    plan_cache_capacity = 128; backend = default_backend }
 
 let with_order order t = { t with order }
 let with_match_mode match_mode t = { t with match_mode }
@@ -109,6 +130,7 @@ let with_params params t = { t with params }
 let with_param name v t = { t with params = Smap.add name v t.params }
 
 let with_plan_cache_capacity n t = { t with plan_cache_capacity = max 0 n }
+let with_backend backend t = { t with backend }
 
 (** [arrange_rows config rows] applies the configured record order;
     identity under [Forward]. *)

@@ -119,6 +119,10 @@ let hoisted_plans ?slot config g t patterns =
 let exec_match ?slot config (g, t) ~optional ~patterns ~where =
   let vars = List.concat_map pattern_vars patterns in
   let columns = Table.columns t @ vars in
+  (* build the compact backend's CSR snapshot before any parallel
+     fan-out, so pool workers share one snapshot instead of racing to
+     build their own *)
+  Graph.ensure_csr g;
   let plans = hoisted_plans ?slot config g t patterns in
   let expand row =
     let matches = Matcher.match_patterns ~mode:(Runtime.match_mode_of config) ~planner:(Runtime.planner_on config) ?plans (ctx_of config g row) patterns in
@@ -141,6 +145,28 @@ let exec_match ?slot config (g, t) ~optional ~patterns ~where =
   ( g,
     Table.concat_map_par ~parallelism:(Runtime.parallelism_of config) columns
       expand t )
+
+(** Fused [MATCH ... RETURN count( * ) AS n]: counts embeddings per
+    driving row without materialising the expanded table.  Restricted by
+    the caller to a non-OPTIONAL, WHERE-less MATCH followed directly by
+    a bare count( * ) RETURN — exactly the shape whose unfused execution
+    puts every embedding through record binding, table projection and a
+    single global aggregation group just to take the list's length.
+    Plan hoisting and the CSR snapshot behave as in {!exec_match}. *)
+let exec_match_count ?slot config (g, t) ~patterns ~name =
+  Graph.ensure_csr g;
+  let plans = hoisted_plans ?slot config g t patterns in
+  let total =
+    Table.fold
+      (fun row acc ->
+        acc
+        + Matcher.count_patterns
+            ~mode:(Runtime.match_mode_of config)
+            ~planner:(Runtime.planner_on config) ?plans (ctx_of config g row)
+            patterns)
+      t 0
+  in
+  (g, Table.make [ name ] [ Record.bind Record.empty name (Value.Int total) ])
 
 let exec_unwind config (g, t) ~source ~alias =
   let columns = Table.columns t @ [ alias ] in
@@ -239,19 +265,37 @@ let profile_clause profile c f =
       (g, t)
 
 let rec exec_query config ~stats ?profile ?memo ~counter (g, t) (q : query) =
-  let g, t1 =
-    List.fold_left
-      (fun (g, t) c ->
-        let key = !counter in
-        incr counter;
-        profile_clause profile c (fun () ->
-            match c with
-            | Match { optional; patterns; where } ->
-                let slot = Option.map (fun m -> (m, key)) memo in
-                exec_match ?slot config (g, t) ~optional ~patterns ~where
-            | c -> exec_clause config ~stats (g, t) c))
-      (g, t) q.clauses
+  let exec_one (g, t) c =
+    let key = !counter in
+    incr counter;
+    profile_clause profile c (fun () ->
+        match c with
+        | Match { optional; patterns; where } ->
+            let slot = Option.map (fun m -> (m, key)) memo in
+            exec_match ?slot config (g, t) ~optional ~patterns ~where
+        | c -> exec_clause config ~stats (g, t) c)
   in
+  let rec run (g, t) = function
+    | [] -> (g, t)
+    (* [MATCH ... RETURN count( * )] fuses into a counting traversal.  The
+       restriction to a final plain-MATCH/bare-count( * ) pair keeps the
+       observable behaviour exactly that of the unfused pipeline (same
+       embeddings enumerated in the same order, same single-row output
+       table); under PROFILE the clauses stay separate so per-clause row
+       counts remain exact. *)
+    | [ Match { optional = false; patterns; where = None }; Return proj ]
+      when Option.is_none profile
+           && Option.is_some (Projection.count_star_alias proj) ->
+        let name = Option.get (Projection.count_star_alias proj) in
+        let key = !counter in
+        (* the fused pair consumes both clause slots, keeping plan-memo
+           keys aligned with the unfused numbering *)
+        counter := !counter + 2;
+        let slot = Option.map (fun m -> (m, key)) memo in
+        exec_match_count ?slot config (g, t) ~patterns ~name
+    | c :: rest -> run (exec_one (g, t) c) rest
+  in
+  let g, t1 = run (g, t) q.clauses in
   match q.union with
   | None -> (g, t1)
   | Some (all, q') ->

@@ -20,6 +20,26 @@ let item_name (it : proj_item) =
       | Prop (Var v, k) -> v ^ "." ^ k
       | e -> Pretty.expr_to_string e)
 
+(** [count_star_alias proj] is the output column name when [proj] is a
+    bare [count( * )] projection — a single count-star item with no
+    DISTINCT, [*], ORDER BY, SKIP, LIMIT or WHERE — and [None]
+    otherwise.  Such a projection over a MATCH is fused by the engine
+    into a counting traversal that materialises no rows
+    ({!Cypher_matcher.Matcher.count_patterns}). *)
+let count_star_alias (proj : projection) : string option =
+  match proj with
+  | {
+   proj_distinct = false;
+   proj_star = false;
+   proj_items = [ ({ item_expr = Agg (Count, false, None); _ } as it) ];
+   proj_order = [];
+   proj_skip = None;
+   proj_limit = None;
+   proj_where = None;
+  } ->
+      Some (item_name it)
+  | _ -> None
+
 (** Expands [*] to one item per input column (sorted), then appends the
     explicit items. *)
 let effective_items (t : Table.t) (proj : projection) : proj_item list =

@@ -9,6 +9,12 @@ open Cypher_table
     name, or the printed expression. *)
 val item_name : Cypher_ast.Ast.proj_item -> string
 
+(** The output column name when the projection is a bare [count( * )] —
+    single count-star item, no DISTINCT/[*]/ORDER BY/SKIP/LIMIT/WHERE —
+    [None] otherwise.  The engine fuses such a projection over a MATCH
+    into a counting traversal that materialises no rows. *)
+val count_star_alias : Cypher_ast.Ast.projection -> string option
+
 val run :
   Config.t -> Graph.t * Table.t -> Cypher_ast.Ast.projection ->
   Graph.t * Table.t

@@ -24,12 +24,19 @@
 
 open Cypher_graph
 
-(** One journaled statement: its source text, the net update counters
-    its application produced, and the configuration it ran under. *)
+(** What a journal entry's payload is: the source text of a statement,
+    or one batch of a bulk load (a [Cypher_storage.Bulk] frame, replayed
+    by the loader rather than the parser). *)
+type journal_kind = [ `Statement | `Bulk ]
+
+(** One journaled statement (or bulk batch): its payload, the net update
+    counters its application produced, and the configuration it ran
+    under. *)
 type journal_entry = {
   je_src : string;
   je_stats : Stats.t;
   je_config : Config.t;
+  je_kind : journal_kind;
 }
 
 type t = {
@@ -59,7 +66,7 @@ let config s = s.config
    deliberately excluded — rebinding values must hit — as is journal
    durability, which only affects how the storage layer flushes. *)
 let config_fingerprint (c : Config.t) =
-  Printf.sprintf "%s|%s|%s|%s|%d|%b|%s"
+  Printf.sprintf "%s|%s|%s|%s|%d|%b|%s|%s"
     (match c.Config.mode with Config.Legacy -> "legacy" | Config.Atomic -> "atomic")
     (match c.Config.order with
     | Config.Forward -> "fwd"
@@ -74,6 +81,9 @@ let config_fingerprint (c : Config.t) =
     | Cypher_ast.Validate.Cypher9 -> "cypher9"
     | Cypher_ast.Validate.Revised -> "revised"
     | Cypher_ast.Validate.Permissive -> "permissive")
+    (match c.Config.backend with
+    | `Persistent -> "persistent"
+    | `Compact -> "compact")
 
 let create ?(config = Config.revised) graph =
   {
@@ -144,7 +154,15 @@ let flush s entries =
       try
         sink entries;
         Ok ()
-      with e -> Error ("journal append failed: " ^ Printexc.to_string e))
+      with
+      | Errors.Error e ->
+          (* a sink that fails with a structured error (e.g. the store
+             is closed) keeps it structured for the caller *)
+          Error e
+      | e ->
+          Error
+            (Errors.Update_error
+               ("journal append failed: " ^ Printexc.to_string e)))
 
 let commit s =
   match s.snapshots with
@@ -166,14 +184,14 @@ let commit s =
               s.snapshots <- rest;
               s.pending <- [];
               Ok ()
-          | Error m ->
+          | Error e ->
               (* the journal is the durability contract: a commit whose
                  entries cannot be written aborts, restoring the
                  transaction's snapshot *)
               s.graph <- snapshot;
               s.snapshots <- rest;
               s.pending <- [];
-              Error m)
+              Error (Errors.to_string e))
       | Some _, [] ->
           (* journal attached mid-transaction: nothing was buffered *)
           s.snapshots <- rest;
@@ -203,7 +221,14 @@ let advance s ~src (r : Api.result) =
     Ok r
   end
   else
-    let entry = { je_src = src; je_stats = r.Api.r_stats; je_config = s.config } in
+    let entry =
+      {
+        je_src = src;
+        je_stats = r.Api.r_stats;
+        je_config = s.config;
+        je_kind = `Statement;
+      }
+    in
     match s.pending with
     | buf :: rest ->
         s.pending <- (entry :: buf) :: rest;
@@ -214,7 +239,34 @@ let advance s ~src (r : Api.result) =
         | Ok () ->
             s.graph <- r.Api.r_graph;
             Ok r
-        | Error m -> Error (Errors.Update_error m))
+        | Error e -> Error e)
+
+(** [advance_bulk s ~src ~stats graph'] journals one externally-applied
+    bulk batch — [src] is the frame payload ([Cypher_storage.Bulk]'s
+    line format, not Cypher), [stats] its net counters — and advances
+    the session graph to [graph'].  Write-ahead discipline matches
+    {!advance}: immediate flush outside a transaction, buffered inside
+    one; on a failed append the graph does not move. *)
+let advance_bulk s ~src ~stats graph' =
+  if s.journal = None then begin
+    s.graph <- graph';
+    Ok ()
+  end
+  else
+    let entry =
+      { je_src = src; je_stats = stats; je_config = s.config; je_kind = `Bulk }
+    in
+    match s.pending with
+    | buf :: rest ->
+        s.pending <- (entry :: buf) :: rest;
+        s.graph <- graph';
+        Ok ()
+    | [] -> (
+        match flush s [ entry ] with
+        | Ok () ->
+            s.graph <- graph';
+            Ok ()
+        | Error e -> Error e)
 
 (* Compile through the plan cache: a hit skips lexing, parsing,
    validation and (via the statement's plan memo) match planning.

@@ -18,12 +18,20 @@ open Cypher_graph
 
 type t
 
+(** How a journal entry's [je_src] is to be replayed: [`Statement] is
+    Cypher source re-executed through the [Api]; [`Bulk] is a bulk-load
+    frame in the loader's line format, applied directly to the graph
+    (see [Cypher_storage.Bulk]). *)
+type journal_kind = [ `Statement | `Bulk ]
+
 (** One journaled statement: source text, the net update counters its
-    application produced, and the configuration it ran under. *)
+    application produced, the configuration it ran under, and how to
+    replay it. *)
 type journal_entry = {
   je_src : string;
   je_stats : Stats.t;
   je_config : Config.t;
+  je_kind : journal_kind;
 }
 
 val create : ?config:Config.t -> Graph.t -> t
@@ -81,6 +89,17 @@ val rollback : t -> (unit, string) result
     EXPLAIN / PROFILE the rendered plan gains a trailing
     ["plan cache: hit|miss"] line. *)
 val run : t -> string -> (Api.result, Errors.t) result
+
+(** [advance_bulk s ~src ~stats graph'] journals one externally-applied
+    bulk batch — [src] is the batch's frame payload (the bulk loader's
+    line format, not Cypher), [stats] its net update counters — and
+    advances the session graph to [graph'].  Journaling follows the same
+    discipline as statements: write-ahead flush outside a transaction,
+    buffered until the outermost commit inside one.  The entry carries
+    [je_kind = `Bulk] so recovery replays it through the bulk loader
+    instead of the parser. *)
+val advance_bulk :
+  t -> src:string -> stats:Stats.t -> Graph.t -> (unit, Errors.t) result
 
 (** [run_query s q] is {!run} for a pre-parsed query; [prefix]
     defaults to [Plain]. *)

@@ -18,14 +18,17 @@ let error_to_string e = Printf.sprintf "CSV error at line %d: %s" e.line e.messa
 
 exception Csv_error of error
 
-(** [parse_string src] splits CSV text into rows of raw string fields.
-    Handles quoted fields (with embedded commas, newlines and doubled
-    quotes) and both LF and CRLF line endings. *)
-let parse_string src : string list list =
+(** [rows_of_string src] splits CSV text into rows of raw string
+    fields, each paired with the 1-based line its first field starts on
+    (quoted fields may span lines, so row index and line number
+    diverge).  Handles quoted fields (with embedded commas, newlines and
+    doubled quotes) and both LF and CRLF line endings. *)
+let rows_of_string src : (int * string list) list =
   let rows = ref [] in
   let fields = ref [] in
   let buf = Buffer.create 32 in
   let line = ref 1 in
+  let row_line = ref 1 in
   let n = String.length src in
   let flush_field () =
     fields := Buffer.contents buf :: !fields;
@@ -33,8 +36,11 @@ let parse_string src : string list list =
   in
   let flush_row () =
     flush_field ();
-    rows := List.rev !fields :: !rows;
-    fields := []
+    rows := (!row_line, List.rev !fields) :: !rows;
+    fields := [];
+    (* the terminating newline was already counted, so [line] is where
+       the next row starts *)
+    row_line := !line
   in
   let rec plain i =
     if i >= n then (if !fields <> [] || Buffer.length buf > 0 then flush_row ())
@@ -85,6 +91,9 @@ let parse_string src : string list list =
   in
   plain 0;
   List.rev !rows
+
+(** [parse_string src] is {!rows_of_string} without the line numbers. *)
+let parse_string src : string list list = List.map snd (rows_of_string src)
 
 (** Types a raw field: empty → null; integer / float / boolean literals
     are recognised; anything else is a string. *)

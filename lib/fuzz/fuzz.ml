@@ -1,11 +1,12 @@
-(** The fuzzing driver: generate, run all eight oracles, shrink
+(** The fuzzing driver: generate, run all nine oracles, shrink
     failures.
 
     One iteration derives a fresh splitmix64 stream from
     [seed + iteration], generates a (graph, statement) case and runs
     the round-trip, planner-equivalence, parallel-equivalence,
     divergence-classification, well-formedness, update-counter,
-    durability and prepared-statement oracles ({!Oracles}).  The
+    durability, prepared-statement and backend-equivalence oracles
+    ({!Oracles}).  The
     durability oracle extends the
     case with two more generated statements (a three-statement workload
     makes multi-record journals, so truncation sweeps cross record
@@ -26,7 +27,7 @@ type failure = {
 
 type report = {
   seed : int;
-  iterations : int;  (** cases run through each of the eight oracles *)
+  iterations : int;  (** cases run through each of the nine oracles *)
   agreements : int;  (** divergence-oracle runs where both regimes agree *)
   classified : (Oracles.category * int) list;  (** sanctioned divergences *)
   failures : failure list;  (** shrunk; empty on a clean run *)
@@ -97,6 +98,13 @@ let run ?(seed = 0) ~count () =
         record ~oracle:"prepared" ~iteration:i
           ~fails:(fun g q -> Result.is_error (Oracles.prepared g q))
           g q detail);
+    (match Oracles.backend_equivalence g q with
+    | Ok () -> ()
+    | Error detail ->
+        record ~oracle:"backend" ~iteration:i
+          ~fails:(fun g q ->
+            Result.is_error (Oracles.backend_equivalence g q))
+          g q detail);
     let extra = [ Gen.statement rng; Gen.statement rng ] in
     match Oracles.durability ~extra g q with
     | Ok () -> ()
@@ -126,7 +134,7 @@ let pp_failure ppf f =
     Graph.pp f.graph
 
 let pp_report ppf r =
-  Fmt.pf ppf "@[<v>fuzz: seed %d, %d cases x 8 oracles@," r.seed r.iterations;
+  Fmt.pf ppf "@[<v>fuzz: seed %d, %d cases x 9 oracles@," r.seed r.iterations;
   Fmt.pf ppf "divergence oracle: %d agree, %d sanctioned divergences@,"
     r.agreements
     (List.fold_left (fun acc (_, n) -> acc + n) 0 r.classified);

@@ -1,0 +1,69 @@
+(** Global string interning for the compact backend.
+
+    Labels, relationship types and property keys are drawn from small
+    vocabularies even in graphs with millions of entities, so the CSR
+    snapshot ({!Graph.Csr}) stores them as small integers and compares
+    them with [=] instead of [String.compare].  Symbols are process-wide
+    and never recycled: an id handed out once denotes the same string
+    forever, so CSR snapshots built at different times agree on their
+    meaning.
+
+    Reads are lock-free: the string→id map is an immutable {!Smap}
+    snapshot behind an [Atomic.t], so matcher workers resolving symbols
+    in parallel never contend.  Only inserts take the mutex, and each
+    distinct string is inserted exactly once. *)
+
+open Cypher_util.Maps
+
+type table = { by_name : int Smap.t; names : string array; count : int }
+
+let table : table Atomic.t =
+  Atomic.make { by_name = Smap.empty; names = [||]; count = 0 }
+
+let lock = Mutex.create ()
+
+(** [find s] is the symbol for [s], if one was ever interned.  Lock-free;
+    safe to call from any domain. *)
+let find (s : string) : int option = Smap.find_opt s (Atomic.get table).by_name
+
+(** [intern s] returns the symbol for [s], allocating one on first use.
+    Idempotent: the same string always yields the same id. *)
+let intern (s : string) : int =
+  match find s with
+  | Some id -> id
+  | None ->
+      Mutex.lock lock;
+      let id =
+        (* re-check under the lock: another domain may have won the race *)
+        let t = Atomic.get table in
+        match Smap.find_opt s t.by_name with
+        | Some id -> id
+        | None ->
+            let id = t.count in
+            let cap = Array.length t.names in
+            let names =
+              if id < cap then t.names
+              else begin
+                let names = Array.make (max 16 (2 * cap)) "" in
+                Array.blit t.names 0 names 0 cap;
+                names
+              end
+            in
+            names.(id) <- s;
+            Atomic.set table
+              { by_name = Smap.add s id t.by_name; names; count = id + 1 };
+            id
+      in
+      Mutex.unlock lock;
+      id
+
+(** [name id] is the string interned as [id].
+    @raise Invalid_argument if [id] was never handed out. *)
+let name (id : int) : string =
+  let t = Atomic.get table in
+  if id < 0 || id >= t.count then
+    invalid_arg (Printf.sprintf "Symtab.name: unknown symbol %d" id)
+  else t.names.(id)
+
+(** Number of symbols interned so far. *)
+let count () = (Atomic.get table).count

@@ -1,0 +1,18 @@
+(** Global string interning for the compact backend: labels,
+    relationship types and property keys become small integers that CSR
+    snapshots compare with [=].  Symbols are process-wide, stable for
+    the lifetime of the process, and never recycled.  [find] and [name]
+    are lock-free; [intern] locks only on first sight of a string. *)
+
+val intern : string -> int
+(** The symbol for a string, allocating one on first use.  Idempotent. *)
+
+val find : string -> int option
+(** The symbol for a string, if one was ever interned.  Lock-free. *)
+
+val name : int -> string
+(** The string interned under a symbol.
+    @raise Invalid_argument on an id never handed out. *)
+
+val count : unit -> int
+(** Number of symbols interned so far. *)

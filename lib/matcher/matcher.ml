@@ -40,18 +40,50 @@ let rel_available st id =
 
 let eval_in ctx row e = Eval.eval (Ctx.with_row ctx row) e
 
-(** Does node [id] satisfy the label and property requirements of [np]
-    under the bindings of [row]?  Missing nodes never match. *)
-let node_satisfies (ctx : Ctx.t) row (np : node_pat) id =
-  match Graph.node ctx.graph id with
-  | None -> false
-  | Some n ->
-      List.for_all (fun l -> Sset.mem l n.Graph.labels) np.np_labels
-      && List.for_all
-           (fun (k, e) ->
-             let want = eval_in ctx row e in
-             Value.equal_tri (Props.get n.Graph.n_props k) want = Tri.True)
-           np.np_props
+(** [node_check ctx np] compiles the label and property requirements of
+    [np] into a [row -> id -> bool] test, evaluated once per pattern
+    invocation rather than once per candidate node.  On the compact
+    backend the label and property-key symbols are resolved here — the
+    per-node test is then pure int-array work against the CSR arenas
+    (plus property-expression evaluation, which is row-dependent and
+    stays inside); a label that was never interned anywhere cannot be
+    carried by any node, so the whole check constant-folds to false.
+    Missing nodes never match. *)
+let node_check (ctx : Ctx.t) (np : node_pat) :
+    Record.t -> Value.node_id -> bool =
+  match Graph.csr_view ctx.graph with
+  | Some c ->
+      let lab_syms = List.map Symtab.find np.np_labels in
+      if List.exists Option.is_none lab_syms then fun _ _ -> false
+      else
+        let lab_syms = List.filter_map Fun.id lab_syms in
+        let props = List.map (fun (k, e) -> (Symtab.find k, e)) np.np_props in
+        fun row id ->
+          let i = Graph.Csr.node_idx c id in
+          i >= 0
+          && List.for_all (fun sym -> Graph.Csr.has_label_sym c i sym) lab_syms
+          && List.for_all
+               (fun (sym, e) ->
+                 let want = eval_in ctx row e in
+                 let have =
+                   match sym with
+                   | Some sym -> Graph.Csr.node_prop_sym c i sym
+                   | None -> Value.Null
+                 in
+                 Value.equal_tri have want = Tri.True)
+               props
+  | None -> (
+      fun row id ->
+        match Graph.node ctx.graph id with
+        | None -> false
+        | Some n ->
+            List.for_all (fun l -> Sset.mem l n.Graph.labels) np.np_labels
+            && List.for_all
+                 (fun (k, e) ->
+                   let want = eval_in ctx row e in
+                   Value.equal_tri (Props.get n.Graph.n_props k) want = Tri.True)
+                 np.np_props)
+
 
 let rel_satisfies (ctx : Ctx.t) row (rp : rel_pat) (r : Graph.rel) =
   (match rp.rp_types with
@@ -62,6 +94,17 @@ let rel_satisfies (ctx : Ctx.t) row (rp : rel_pat) (r : Graph.rel) =
          let want = eval_in ctx row e in
          Value.equal_tri (Props.get r.Graph.r_props k) want = Tri.True)
        rp.rp_props
+
+(** Would {!bind_var} succeed?  The conflicting-rebinding test alone,
+    without committing the binding — for leaf positions whose extended
+    state nothing will ever read (see {!count_pattern_planned}). *)
+let bind_check st var v =
+  match var with
+  | None -> true
+  | Some name -> (
+      match Record.find_opt st.row name with
+      | None -> true
+      | Some existing -> Value.equal_strict existing v)
 
 (** Binds [var] to [v] in [st], failing (None) on conflicting rebinding. *)
 let bind_var st var v =
@@ -96,9 +139,10 @@ let match_node (ctx : Ctx.t) st (np : node_pat) : (state * Value.node_id) list =
         | [] -> Graph.node_ids ctx.graph
         | label :: _ -> Graph.nodes_with_label ctx.graph label)
   in
+  let check = node_check ctx np in
   List.filter_map
     (fun id ->
-      if node_satisfies ctx st.row np id then
+      if check st.row id then
         Option.map
           (fun st -> (st, id))
           (bind_var st np.np_var (Value.Node id))
@@ -116,7 +160,90 @@ let flip = function Out -> In | In -> Out | Undirected -> Undirected
     touching non-matching types.  Folding (rather than materialising a
     neighbour list) keeps the per-hop allocation at zero; hop
     enumeration is the innermost loop of every MATCH and MERGE. *)
-let fold_adjacent (g : Graph.t) src_id (rp : rel_pat) ~reversed
+(* Compact-backend fast path for hop enumeration: the per-node CSR
+   slices are relationship-id-sorted copies of the persistent adjacency
+   sets, so filtering them by interned type symbol yields exactly the
+   persistent path's enumeration, without set unions or per-rel map
+   lookups.  The symbol set of the pattern's type names is resolved once
+   per fold, not per neighbour. *)
+(* Index-level core: [f] receives the dense relationship index and the
+   far node id, both plain ints — the relationship *record* is never
+   touched, so a caller that only needs ints (the counting leaf) stays
+   record-free.  Ordering the undirected merge compares dense indices
+   directly: the builder assigns them in id order, so index order is id
+   order. *)
+let fold_adjacent_csr_idx (c : Graph.Csr.t) src_id (rp : rel_pat) ~reversed
+    (f : int -> Value.node_id -> 'a -> 'a) (acc : 'a) : 'a =
+  let open Graph.Csr in
+  let i = node_idx c src_id in
+  if i < 0 then acc
+  else
+    let tymatch =
+      match rp.rp_types with
+      | [] -> fun _ -> true
+      | [ ty ] -> (
+          match Symtab.find ty with
+          | Some sym -> fun t -> t = sym
+          | None -> fun _ -> false)
+      | types ->
+          let syms = List.filter_map Symtab.find types in
+          fun t -> List.mem t syms
+    in
+    let dir = if reversed then flip rp.rp_dir else rp.rp_dir in
+    match dir with
+    | Out ->
+        let hi = c.out_off.(i + 1) in
+        let rec go k acc =
+          if k >= hi then acc
+          else
+            go (k + 1)
+              (if tymatch c.out_ty.(k) then f c.out_ridx.(k) c.out_far.(k) acc
+               else acc)
+        in
+        go c.out_off.(i) acc
+    | In ->
+        let hi = c.in_off.(i + 1) in
+        let rec go k acc =
+          if k >= hi then acc
+          else
+            go (k + 1)
+              (if tymatch c.in_ty.(k) then f c.in_ridx.(k) c.in_far.(k) acc
+               else acc)
+        in
+        go c.in_off.(i) acc
+    | Undirected ->
+        (* merge the id-sorted out and in slices; a self-loop sits in
+           both at the same id and is taken once, from the out side *)
+        let ohi = c.out_off.(i + 1) and ihi = c.in_off.(i + 1) in
+        let rec merge ko ki acc =
+          if ko >= ohi && ki >= ihi then acc
+          else if ki >= ihi || (ko < ohi && c.out_ridx.(ko) <= c.in_ridx.(ki))
+          then
+            let ki =
+              if ki < ihi && c.in_ridx.(ki) = c.out_ridx.(ko) then ki + 1
+              else ki
+            in
+            let acc =
+              if tymatch c.out_ty.(ko) then f c.out_ridx.(ko) c.out_far.(ko) acc
+              else acc
+            in
+            merge (ko + 1) ki acc
+          else
+            let acc =
+              if tymatch c.in_ty.(ki) then f c.in_ridx.(ki) c.in_far.(ki) acc
+              else acc
+            in
+            merge ko (ki + 1) acc
+        in
+        merge c.out_off.(i) c.in_off.(i) acc
+
+let fold_adjacent_csr (c : Graph.Csr.t) src_id (rp : rel_pat) ~reversed
+    (f : Graph.rel -> Value.node_id -> 'a -> 'a) (acc : 'a) : 'a =
+  fold_adjacent_csr_idx c src_id rp ~reversed
+    (fun j far acc -> f c.Graph.Csr.rel_recs.(j) far acc)
+    acc
+
+let fold_adjacent_maps (g : Graph.t) src_id (rp : rel_pat) ~reversed
     (f : Graph.rel -> Value.node_id -> 'a -> 'a) (acc : 'a) : 'a =
   let out_set, in_set =
     match rp.rp_types with
@@ -151,6 +278,12 @@ let fold_adjacent (g : Graph.t) src_id (rp : rel_pat) ~reversed
           f r far acc)
         (Iset.union out_set in_set)
         acc
+
+let fold_adjacent (g : Graph.t) src_id (rp : rel_pat) ~reversed
+    (f : Graph.rel -> Value.node_id -> 'a -> 'a) (acc : 'a) : 'a =
+  match Graph.csr_view g with
+  | Some c -> fold_adjacent_csr c src_id rp ~reversed f acc
+  | None -> fold_adjacent_maps g src_id rp ~reversed f acc
 
 (** Folds over the matches of a single (non-variable-length)
     relationship step from [src_id]: states extended with the
@@ -207,21 +340,26 @@ let match_varlength ?(reversed = false) (ctx : Ctx.t) st src_id (rp : rel_pat)
       Option.map (fun st -> (st, far, rels)) (bind_var st rp.rp_var rel_list))
     (List.rev !results)
 
-(** Matches one whole path pattern left-to-right from state [st] — the
-    naive enumeration: anchor on [pat_start], walk the steps in
-    syntactic order. *)
-let match_pattern_naive (ctx : Ctx.t) st (p : pattern) : state list =
+(** Folds [emit] over the matches of one whole path pattern left-to-right
+    from state [st] — the naive enumeration: anchor on [pat_start], walk
+    the steps in syntactic order.  [emit] is called once per embedding,
+    in traversal order; materialising a state list is just one choice of
+    [emit] (see {!match_pattern_naive}), counting is another
+    (see {!count_patterns}). *)
+let fold_pattern_naive (ctx : Ctx.t) st (p : pattern)
+    (emit : state -> 'a -> 'a) (acc0 : 'a) : 'a =
   let starts = match_node ctx st p.pat_start in
   (* the path value is only assembled when the pattern is named; an
-     anonymous pattern skips the per-embedding list building entirely.
-     Matching states are threaded through an accumulator (prepended in
-     traversal order, reversed once at the end) so the hot single-hop
-     path allocates nothing beyond the states themselves. *)
+     anonymous pattern skips the per-embedding list building entirely. *)
   let named = p.pat_var <> None in
+  (* far-node checks compiled once per pattern, not once per embedding *)
+  let compiled_steps =
+    List.map (fun (rp, np) -> (rp, np, node_check ctx np)) p.pat_steps
+  in
   let rec steps st node_id nodes_rev rels_rev rest acc =
     match rest with
     | [] ->
-        if not named then st :: acc
+        if not named then emit st acc
         else
           let path =
             Value.Path
@@ -232,12 +370,11 @@ let match_pattern_naive (ctx : Ctx.t) st (p : pattern) : state list =
           in
           (match bind_var st p.pat_var path with
           | None -> acc
-          | Some st -> st :: acc)
-    | (rp, np) :: rest ->
+          | Some st -> emit st acc)
+    | (rp, np, check) :: rest ->
         let far_step st far rels acc =
           match
-            if node_satisfies ctx st.row np far then
-              bind_var st np.np_var (Value.Node far)
+            if check st.row far then bind_var st np.np_var (Value.Node far)
             else None
           with
           | None -> acc
@@ -253,7 +390,8 @@ let match_pattern_naive (ctx : Ctx.t) st (p : pattern) : state list =
         (match rp.rp_range with
         | None ->
             fold_single_rel ctx st node_id rp
-              (fun st far r acc -> far_step st far [ r ] acc)
+              (fun st far r acc ->
+                far_step st far (if named then [ r ] else []) acc)
               acc
         | Some (lo, hi) ->
             let lo = Option.value ~default:1 lo in
@@ -262,12 +400,18 @@ let match_pattern_naive (ctx : Ctx.t) st (p : pattern) : state list =
               acc
               (match_varlength ctx st node_id rp lo hi))
   in
-  List.rev
-    (List.fold_left
-       (fun acc (st, start_id) ->
-         steps st start_id (if named then [ start_id ] else []) [] p.pat_steps
-           acc)
-       [] starts)
+  List.fold_left
+    (fun acc (st, start_id) ->
+      steps st start_id
+        (if named then [ start_id ] else [])
+        [] compiled_steps acc)
+    acc0 starts
+
+(** Matching states of the naive enumeration, in traversal order
+    (prepended by the fold, reversed once at the end — the hot
+    single-hop path allocates nothing beyond the states themselves). *)
+let match_pattern_naive (ctx : Ctx.t) st (p : pattern) : state list =
+  List.rev (fold_pattern_naive ctx st p (fun st acc -> st :: acc) [])
 
 (* ------------------------------------------------------------------ *)
 (* Planned execution                                                  *)
@@ -294,12 +438,13 @@ let anchor_candidates (ctx : Ctx.t) st (plan : Plan.t) : Value.node_id list =
     Nodes and traversed relationships are collected by *position* and
     *step index* so the final path value is assembled left-to-right
     regardless of traversal order. *)
-let match_pattern_planned (ctx : Ctx.t) st (p : pattern) (plan : Plan.t) :
-    state list =
+let fold_pattern_planned (ctx : Ctx.t) st (p : pattern) (plan : Plan.t)
+    (emit : state -> 'a -> 'a) (acc0 : 'a) : 'a =
+  let anchor_check = node_check ctx plan.Plan.p_anchor in
   let starts =
     List.filter_map
       (fun id ->
-        if node_satisfies ctx st.row plan.Plan.p_anchor id then
+        if anchor_check st.row id then
           Option.map
             (fun st -> (st, Imap.singleton plan.Plan.p_anchor_pos id))
             (bind_var st plan.Plan.p_anchor.np_var (Value.Node id))
@@ -307,12 +452,16 @@ let match_pattern_planned (ctx : Ctx.t) st (p : pattern) (plan : Plan.t) :
       (anchor_candidates ctx st plan)
   in
   (* the path value is only assembled when the pattern is named; an
-     anonymous pattern skips the per-step relationship bookkeeping *)
+     anonymous pattern skips the per-step relationship bookkeeping.
+     Far-node checks are compiled once per hop, not once per embedding. *)
   let named = p.pat_var <> None in
+  let compiled_hops =
+    List.map (fun (h : Plan.hop) -> (h, node_check ctx h.Plan.h_far)) plan.Plan.p_hops
+  in
   let rec hops st nodes_at rels_at rest acc =
     match rest with
     | [] ->
-        if not named then st :: acc
+        if not named then emit st acc
         else
           let path =
             Value.Path
@@ -329,13 +478,13 @@ let match_pattern_planned (ctx : Ctx.t) st (p : pattern) (plan : Plan.t) :
           in
           (match bind_var st p.pat_var path with
           | None -> acc
-          | Some st -> st :: acc)
-    | (h : Plan.hop) :: rest ->
+          | Some st -> emit st acc)
+    | ((h : Plan.hop), check) :: rest ->
         let src_id = Imap.find h.Plan.h_src_pos nodes_at in
         let reversed = h.Plan.h_reversed in
         let far_step st far rels acc =
           match
-            if node_satisfies ctx st.row h.Plan.h_far far then
+            if check st.row far then
               bind_var st h.Plan.h_far.np_var (Value.Node far)
             else None
           with
@@ -350,7 +499,8 @@ let match_pattern_planned (ctx : Ctx.t) st (p : pattern) (plan : Plan.t) :
         (match h.Plan.h_rp.rp_range with
         | None ->
             fold_single_rel ~reversed ctx st src_id h.Plan.h_rp
-              (fun st far r acc -> far_step st far [ r ] acc)
+              (fun st far r acc ->
+                far_step st far (if named then [ r ] else []) acc)
               acc
         | Some (lo, hi) ->
             let lo = Option.value ~default:1 lo in
@@ -359,11 +509,110 @@ let match_pattern_planned (ctx : Ctx.t) st (p : pattern) (plan : Plan.t) :
               acc
               (match_varlength ~reversed ctx st src_id h.Plan.h_rp lo hi))
   in
-  List.rev
-    (List.fold_left
-       (fun acc (st, nodes_at) ->
-         hops st nodes_at Imap.empty plan.Plan.p_hops acc)
-       [] starts)
+  List.fold_left
+    (fun acc (st, nodes_at) -> hops st nodes_at Imap.empty compiled_hops acc)
+    acc0 starts
+
+let match_pattern_planned (ctx : Ctx.t) st (p : pattern) (plan : Plan.t) :
+    state list =
+  List.rev (fold_pattern_planned ctx st p plan (fun st acc -> st :: acc) [])
+
+(** [count_pattern_planned ctx st p plan] is
+    [fold_pattern_planned ctx st p plan (fun _ n -> n + 1) 0] with one
+    extra specialisation: on a final single-relationship anonymous hop of
+    an anonymous pattern, matching relationships are counted in place.
+    The state [far_step] would build there — relationship marked used,
+    far variable bound, a fresh record — is dead at the leaf, so only
+    the *checks* run (availability, relationship predicates, far-node
+    check, conflicting-rebind test), in exactly the generic path's
+    evaluation order.  Only sound for the last pattern of a MATCH tuple:
+    an earlier pattern's used-set is consulted by the patterns after it. *)
+let count_pattern_planned (ctx : Ctx.t) st (p : pattern) (plan : Plan.t) : int
+    =
+  if p.pat_var <> None then
+    fold_pattern_planned ctx st p plan (fun _ n -> n + 1) 0
+  else
+    let anchor_check = node_check ctx plan.Plan.p_anchor in
+    let compiled_hops =
+      List.map
+        (fun (h : Plan.hop) -> (h, node_check ctx h.Plan.h_far))
+        plan.Plan.p_hops
+    in
+    let rec hops st nodes_at rest acc =
+      match rest with
+      | [] -> acc + 1
+      | [ ((h : Plan.hop), check) ]
+        when h.Plan.h_rp.rp_range = None && h.Plan.h_rp.rp_var = None ->
+          (* final hop: count matching relationships without committing
+             the extension *)
+          let src_id = Imap.find h.Plan.h_src_pos nodes_at in
+          let rp = h.Plan.h_rp in
+          let far_var = h.Plan.h_far.np_var in
+          (match Graph.csr_view ctx.graph with
+          | Some c when rp.rp_props = [] ->
+              (* record-free on the compact backend: the slice's type
+                 filter subsumes [rel_satisfies] when the pattern has no
+                 property map, and the used-set test reads the id from
+                 the [rel_id] arena — the innermost loop touches only
+                 int arrays *)
+              fold_adjacent_csr_idx c src_id rp ~reversed:h.Plan.h_reversed
+                (fun j far acc ->
+                  if
+                    rel_available st c.Graph.Csr.rel_id.(j)
+                    && check st.row far
+                    && bind_check st far_var (Value.Node far)
+                  then acc + 1
+                  else acc)
+                acc
+          | _ ->
+              fold_adjacent ctx.graph src_id rp ~reversed:h.Plan.h_reversed
+                (fun (r : Graph.rel) far acc ->
+                  if
+                    rel_available st r.Graph.r_id
+                    && rel_satisfies ctx st.row rp r
+                    && check st.row far
+                    && bind_check st far_var (Value.Node far)
+                  then acc + 1
+                  else acc)
+                acc)
+      | ((h : Plan.hop), check) :: rest ->
+          let src_id = Imap.find h.Plan.h_src_pos nodes_at in
+          let far_step st far acc =
+            match
+              if check st.row far then
+                bind_var st h.Plan.h_far.np_var (Value.Node far)
+              else None
+            with
+            | None -> acc
+            | Some st -> hops st (Imap.add h.Plan.h_far_pos far nodes_at) rest acc
+          in
+          (match h.Plan.h_rp.rp_range with
+          | None ->
+              fold_single_rel ~reversed:h.Plan.h_reversed ctx st src_id
+                h.Plan.h_rp
+                (fun st far _r acc -> far_step st far acc)
+                acc
+          | Some (lo, hi) ->
+              let lo = Option.value ~default:1 lo in
+              List.fold_left
+                (fun acc (st, far, _rels) -> far_step st far acc)
+                acc
+                (match_varlength ~reversed:h.Plan.h_reversed ctx st src_id
+                   h.Plan.h_rp lo hi))
+    in
+    let starts =
+      List.filter_map
+        (fun id ->
+          if anchor_check st.row id then
+            Option.map
+              (fun st -> (st, Imap.singleton plan.Plan.p_anchor_pos id))
+              (bind_var st plan.Plan.p_anchor.np_var (Value.Node id))
+          else None)
+        (anchor_candidates ctx st plan)
+    in
+    List.fold_left
+      (fun acc (st, nodes_at) -> hops st nodes_at compiled_hops acc)
+      0 starts
 
 (** Matches one whole path pattern, planning the traversal order when
     [planner] is set and the pattern is safely reorderable. *)
@@ -391,6 +640,9 @@ let match_pattern ?(planner = false) (ctx : Ctx.t) st (p : pattern) :
     patterns on per-row planning. *)
 let match_patterns ?(mode = Iso) ?(planner = false) ?plans (ctx : Ctx.t)
     (patterns : pattern list) : Record.t list =
+  (* read-phase boundary: under the compact backend, (re)build the CSR
+     snapshot here so the expansion loops below run on it *)
+  Graph.ensure_csr ctx.graph;
   let init = { row = ctx.row; used = Iset.empty; mode } in
   let hints = Option.value ~default:[] plans in
   let step_with hint st p =
@@ -403,11 +655,56 @@ let match_patterns ?(mode = Iso) ?(planner = false) ?plans (ctx : Ctx.t)
     List.fold_left
       (fun (i, states) p ->
         let hint = List.nth_opt hints i in
-        (i + 1, List.concat_map (fun st -> step_with hint st p) states))
+        ( i + 1,
+          (* the single-state case (every first pattern, and most driving
+             rows) skips [concat_map]'s rev_append/rev round trip — at
+             10⁵-row matches those two extra traversals are measurable *)
+          match states with
+          | [ st ] -> step_with hint st p
+          | states -> List.concat_map (fun st -> step_with hint st p) states ))
       (0, [ init ]) patterns
     |> snd
   in
   List.map (fun st -> st.row) states
+
+(** [count_patterns ?mode ?planner ?plans ctx patterns] is
+    [List.length (match_patterns ... )] without materialising any state
+    list: each pattern's embeddings are folded over directly, recursing
+    into the remaining patterns per embedding.  Traversal (and therefore
+    any error raised by a property expression) follows exactly the order
+    of {!match_patterns}.  The engine uses this to fuse
+    [MATCH ... RETURN count( * )] — at 10⁵+ embeddings the dominant cost
+    of the materialising path is allocating and promoting the result
+    records, which a count never looks at. *)
+let count_patterns ?(mode = Iso) ?(planner = false) ?plans (ctx : Ctx.t)
+    (patterns : pattern list) : int =
+  Graph.ensure_csr ctx.graph;
+  let init = { row = ctx.row; used = Iset.empty; mode } in
+  let hints = Option.value ~default:[] plans in
+  let rec count st i = function
+    | [] -> 1
+    | p :: rest ->
+        let plan_for =
+          match List.nth_opt hints i with
+          | Some hint -> hint (* [Some None] forces naive enumeration *)
+          | None -> if planner then Plan.make ctx st.row p else None
+        in
+        let last = rest = [] in
+        (match plan_for with
+        | Some plan ->
+            if last then count_pattern_planned ctx st p plan
+            else
+              fold_pattern_planned ctx st p plan
+                (fun st' n -> n + count st' (i + 1) rest)
+                0
+        | None ->
+            if last then fold_pattern_naive ctx st p (fun _ n -> n + 1) 0
+            else
+              fold_pattern_naive ctx st p
+                (fun st' n -> n + count st' (i + 1) rest)
+                0)
+  in
+  count init 0 patterns
 
 (** [matches ?mode ?planner ctx patterns] decides (p, G, u) ⊨ π: is
     there at least one embedding?  Used by MERGE to split the driving
@@ -427,6 +724,7 @@ let matches ?mode ?planner ctx patterns =
     The zero-length path is a valid answer when the endpoints coincide
     and the range admits length 0. *)
 let shortest_paths (ctx : Ctx.t) ~all (p : pattern) : Value.t =
+  Graph.ensure_csr ctx.graph;
   let rp, end_np =
     match p.pat_steps with
     | [ (rp, np) ] when rp.rp_range <> None -> (rp, np)

@@ -39,6 +39,19 @@ val match_patterns :
   pattern list ->
   Record.t list
 
+(** [count_patterns ?mode ?planner ?plans ctx patterns] is
+    [List.length (match_patterns ...)] without materialising any row:
+    embeddings are folded over and counted in place, in the same
+    traversal order.  Used by the engine to fuse
+    [MATCH ... RETURN count( * )] projections. *)
+val count_patterns :
+  ?mode:mode ->
+  ?planner:bool ->
+  ?plans:Plan.t option list ->
+  Cypher_eval.Ctx.t ->
+  pattern list ->
+  int
+
 (** [matches ?mode ?planner ctx patterns] decides (p, G, u) ⊨ π: is
     there at least one embedding?  Used by MERGE to split the driving
     table. *)

@@ -1,0 +1,64 @@
+(** Streaming bulk loader: two CSV files (nodes, relationships) →
+    graph, validated in full before anything is applied, journaled as
+    one {!Wal} frame per batch instead of one per statement.
+
+    Node CSV: required [id] column (the file-local identifier the
+    relationship file refers to), optional [labels] column
+    ([;]-separated), every other column a typed property.  Relationship
+    CSV: required [src] / [tgt] / [type] columns, every other column a
+    typed property.  A failed load — malformed CSV, missing or duplicate
+    columns, ragged rows, duplicate node ids, unknown endpoints, a
+    closed store — returns a structured error naming file and line and
+    leaves the graph untouched (application runs inside a transaction).
+
+    Frame payloads use raw CSV ids for relationship endpoints, resolved
+    through an {!idmap} threaded across frames, so replay is immune to
+    the internal-id remapping a snapshot compaction performs.  See the
+    implementation header for the frame grammar. *)
+
+open Cypher_graph
+open Cypher_core
+
+type report = {
+  nodes_created : int;
+  rels_created : int;
+  batches : int;  (** journal frames written *)
+}
+
+(** Raw CSV id → internal node id, threaded across the frames of one
+    load (or one recovery replay). *)
+type idmap
+
+val create_idmap : unit -> idmap
+val default_batch_size : int
+
+(** [apply_frame ~ids g payload] applies one bulk frame to [g],
+    recording created nodes in [ids] and resolving relationship
+    endpoints through it; returns the new graph and the frame's update
+    counters (the journal checksum).  [Error] on a malformed line or an
+    unresolvable endpoint.  Recovery replay calls this on [`Bulk]
+    journal records with one [ids] shared across the whole replay. *)
+val apply_frame :
+  ids:idmap -> Graph.t -> string -> (Graph.t * Stats.t, string) result
+
+(** [load_strings session ~nodes ~rels] validates and applies the two
+    CSV images to [session], journaling one frame per [batch_size] rows
+    (default {!default_batch_size}).  [nodes_name] / [rels_name] label
+    error messages (defaults ["<nodes>"] / ["<rels>"]). *)
+val load_strings :
+  ?batch_size:int ->
+  ?nodes_name:string ->
+  ?rels_name:string ->
+  Session.t ->
+  nodes:string ->
+  rels:string ->
+  (report, Errors.t) result
+
+(** [load_files session ~nodes_path ~rels_path] is {!load_strings} over
+    files; errors cite the file paths. *)
+val load_files :
+  ?batch_size:int ->
+  Session.t ->
+  nodes_path:string ->
+  rels_path:string ->
+  (report, Errors.t) result

@@ -56,24 +56,39 @@ let config_of_record (r : Wal.record) : Config.t =
     from the original execution). *)
 let replay (base : Graph.t) (records : Wal.record list) :
     (Graph.t, string) result =
+  (* one id map across the whole replay: bulk frames resolve
+     relationship endpoints by raw CSV id, and a load's relationship
+     batches follow its node batches as separate records *)
+  let bulk_ids = Bulk.create_idmap () in
+  let check i (recorded : Stats.t) (replayed : Stats.t) k =
+    if not (Stats.equal replayed recorded) then
+      Error
+        (Printf.sprintf
+           "replay: record %d diverged: journal says %S, replay produced %S" i
+           (Stats.footer recorded) (Stats.footer replayed))
+    else k ()
+  in
   let rec go g i = function
     | [] -> Ok g
     | (r : Wal.record) :: rest -> (
-        match Api.run_string_full ~config:(config_of_record r) g r.Wal.src with
-        | Error e ->
-            Error
-              (Printf.sprintf "replay: record %d failed: %s" i
-                 (Errors.to_string e))
-        | Ok res ->
-            if not (Stats.equal res.Api.r_stats r.Wal.stats) then
-              Error
-                (Printf.sprintf
-                   "replay: record %d diverged: journal says %S, replay \
-                    produced %S"
-                   i
-                   (Stats.footer r.Wal.stats)
-                   (Stats.footer res.Api.r_stats))
-            else go res.Api.r_graph (i + 1) rest)
+        match r.Wal.kind with
+        | `Bulk -> (
+            match Bulk.apply_frame ~ids:bulk_ids g r.Wal.src with
+            | Error m ->
+                Error (Printf.sprintf "replay: bulk record %d failed: %s" i m)
+            | Ok (g', stats) ->
+                check i r.Wal.stats stats (fun () -> go g' (i + 1) rest))
+        | `Statement -> (
+            match
+              Api.run_string_full ~config:(config_of_record r) g r.Wal.src
+            with
+            | Error e ->
+                Error
+                  (Printf.sprintf "replay: record %d failed: %s" i
+                     (Errors.to_string e))
+            | Ok res ->
+                check i r.Wal.stats res.Api.r_stats (fun () ->
+                    go res.Api.r_graph (i + 1) rest)))
   in
   go base 0 records
 

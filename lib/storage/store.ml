@@ -43,10 +43,19 @@ let rec mkdir_p dir =
     with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
+(* A closed store must fail the triggering statement with a structured
+   error (the session surfaces sink exceptions as the statement's
+   failure), not a bare [Failure] that callers cannot classify. *)
 let sink t entries =
   match t.writer with
   | Some w -> Wal.append w (List.map Wal.record_of_entry entries)
-  | None -> failwith "store is closed"
+  | None ->
+      Errors.fail
+        (Errors.Update_error
+           (Printf.sprintf
+              "store at %s is closed: reopen it or detach the journal \
+               (Session.set_journal session None) to continue in memory"
+              t.dir))
 
 (** [open_db ?config dir] opens (creating if needed) the database at
     [dir], recovers its graph, and returns the store paired with a

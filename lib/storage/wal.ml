@@ -22,7 +22,7 @@
     source:
 
     {v
-    m=<legacy|atomic> o=<fwd|rev|seed:N> x=<iso|homo> s=<11 counters> [p=<params>]\n
+    m=<legacy|atomic> o=<fwd|rev|seed:N> x=<iso|homo> s=<11 counters> [p=<params>] [k=b]\n
     <statement text, possibly multi-line>
     v}
 
@@ -57,6 +57,9 @@ type record = {
   match_mode : Config.match_mode;
   params : Value.t Smap.t;
       (** parameter bindings the statement ran under (empty when none) *)
+  kind : Session.journal_kind;
+      (** how [src] replays: Cypher source re-executed through the
+          [Api], or a bulk-load frame applied by [Bulk.apply_frame] *)
 }
 
 (** Where and why a scan stopped before the end of the input. *)
@@ -213,8 +216,11 @@ let encode_meta r =
       (encode_match r.match_mode)
       (encode_stats r.stats)
   in
-  if Smap.is_empty r.params then base
-  else base ^ " p=" ^ encode_params r.params
+  let base =
+    if Smap.is_empty r.params then base
+    else base ^ " p=" ^ encode_params r.params
+  in
+  match r.kind with `Statement -> base | `Bulk -> base ^ " k=b"
 
 let decode_meta line src : record option =
   let field prefix s =
@@ -223,22 +229,36 @@ let decode_meta line src : record option =
       Some (String.sub s pl (String.length s - pl))
     else None
   in
-  let finish m o x s params =
-    match
-      ( Option.bind (field "m=" m) decode_mode,
-        Option.bind (field "o=" o) decode_order,
-        Option.bind (field "x=" x) decode_match,
-        Option.bind (field "s=" s) decode_stats,
-        params )
-    with
-    | Some mode, Some order, Some match_mode, Some stats, Some params ->
-        Some { src; stats; mode; order; match_mode; params }
-    | _ -> None
-  in
+  (* the four positional fields are mandatory; trailing options ([p=]
+     parameters, [k=] record kind) appear in any order and default to
+     "no parameters" / "statement", so pre-parameter and pre-bulk
+     journals still decode *)
   match String.split_on_char ' ' line with
-  | [ m; o; x; s ] -> finish m o x s (Some Smap.empty)
-  | [ m; o; x; s; p ] ->
-      finish m o x s (Option.bind (field "p=" p) decode_params)
+  | m :: o :: x :: s :: opts -> (
+      let rec scan params kind = function
+        | [] -> Some (params, kind)
+        | opt :: rest -> (
+            match field "p=" opt with
+            | Some p -> (
+                match decode_params p with
+                | Some params -> scan params kind rest
+                | None -> None)
+            | None -> (
+                match field "k=" opt with
+                | Some "b" -> scan params `Bulk rest
+                | Some _ | None -> None))
+      in
+      match
+        ( Option.bind (field "m=" m) decode_mode,
+          Option.bind (field "o=" o) decode_order,
+          Option.bind (field "x=" x) decode_match,
+          Option.bind (field "s=" s) decode_stats,
+          scan Smap.empty `Statement opts )
+      with
+      | Some mode, Some order, Some match_mode, Some stats, Some (params, kind)
+        ->
+          Some { src; stats; mode; order; match_mode; params; kind }
+      | _ -> None)
   | _ -> None
 
 (** [encode r] is the full frame for [r], header through trailing
@@ -374,4 +394,5 @@ let record_of_entry (e : Session.journal_entry) : record =
     order = e.Session.je_config.Config.order;
     match_mode = e.Session.je_config.Config.match_mode;
     params = e.Session.je_config.Config.params;
+    kind = e.Session.je_kind;
   }

@@ -24,6 +24,11 @@ type record = {
           [p=] metadata field, so pre-parameter journals still decode.
           Bindings must be storable values — a record whose bindings
           contain a graph entity cannot be encoded. *)
+  kind : Session.journal_kind;
+      (** how [src] replays: [`Statement] re-executes Cypher source
+          through the [Api]; [`Bulk] applies a bulk-load frame via
+          [Bulk.apply_frame].  Encoded as an optional [k=b] metadata
+          field, so pre-bulk journals still decode. *)
 }
 
 (** Where and why a scan stopped before the end of the input. *)
@@ -35,6 +40,14 @@ type torn = {
 (** [encode r] is the full frame for [r], header through trailing
     newline. *)
 val encode : record -> string
+
+(** Percent-encoding used for metadata values that must stay single-line
+    and space-free (['%'], [' '], CR and LF become [%XX]).  Shared with
+    the bulk loader's frame line format. *)
+val pct_encode : string -> string
+
+(** Inverse of {!pct_encode}; [None] on a malformed escape. *)
+val pct_decode : string -> string option
 
 (** [scan_string s] parses records from the front of [s]: the records of
     the longest valid prefix, the byte length of that prefix, and —

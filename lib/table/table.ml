@@ -50,8 +50,15 @@ let of_rows rows =
 let map f t = { t with rows = List.map f t.rows }
 
 (** [concat_map columns f t] expands every row into several rows; the new
-    column set must be supplied since expansion may bind new variables. *)
-let concat_map columns f t = make columns (List.concat_map f t.rows)
+    column set must be supplied since expansion may bind new variables.
+    A single-row table (every first MATCH runs on one) takes [f row]
+    directly, skipping [List.concat_map]'s rev_append/rev round trip
+    over what may be a very large expansion. *)
+let concat_map columns f t =
+  make columns
+    (match t.rows with
+    | [ row ] -> f row
+    | rows -> List.concat_map f rows)
 
 (** [concat_map_par ~parallelism columns f t] is {!concat_map} with the
     per-row expansion fanned out over a domain pool.  The gather is
@@ -59,7 +66,9 @@ let concat_map columns f t = make columns (List.concat_map f t.rows)
     [f] is pure — the caller's obligation (the engine only uses this for
     read phases against an immutable graph snapshot). *)
 let concat_map_par ~parallelism columns f t =
-  make columns (Cypher_util.Pool.concat_map_chunks ~parallelism f t.rows)
+  match t.rows with
+  | [ row ] -> make columns (f row) (* nothing to fan out *)
+  | rows -> make columns (Cypher_util.Pool.concat_map_chunks ~parallelism f rows)
 
 let filter p t = { t with rows = List.filter p t.rows }
 

@@ -1,0 +1,255 @@
+(** The compact backend: symbol interning, CSR snapshot lifecycle
+    (build at read-phase boundaries, reuse while the graph's content is
+    physically unchanged, invalidate on update), and end-to-end
+    equivalence with the persistent backend on a small workload. *)
+
+open Cypher_graph
+module Config = Cypher_core.Config
+module Api = Cypher_core.Api
+module Symtab = Cypher_graph.Symtab
+
+(* ------------------------------------------------------------------ *)
+(* Symtab                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let symtab_tests =
+  [
+    Test_util.case "intern is idempotent and stable" (fun () ->
+        let a = Symtab.intern "test_backend_A" in
+        let b = Symtab.intern "test_backend_B" in
+        Alcotest.(check bool) "distinct strings, distinct symbols" true (a <> b);
+        Alcotest.(check int) "re-intern returns the same symbol" a
+          (Symtab.intern "test_backend_A");
+        Alcotest.(check int) "find agrees with intern" a
+          (Option.get (Symtab.find "test_backend_A"));
+        Alcotest.(check string) "name inverts intern" "test_backend_A"
+          (Symtab.name a);
+        Alcotest.(check string) "name inverts intern (b)" "test_backend_B"
+          (Symtab.name b));
+    Test_util.case "find never allocates" (fun () ->
+        let before = Symtab.count () in
+        Alcotest.(check (option int))
+          "unknown string" None
+          (Symtab.find "test_backend_never_interned");
+        Alcotest.(check int) "count unchanged" before (Symtab.count ()));
+    Test_util.case "name rejects an id never handed out" (fun () ->
+        Alcotest.check_raises "out of range"
+          (Invalid_argument "Symtab.name: unknown symbol 9999999") (fun () ->
+            ignore (Symtab.name 9999999)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* CSR lifecycle                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let small_graph () =
+  let g = Graph.empty in
+  let n0, g = Graph.create_node ~labels:[ "A" ] g in
+  let n1, g =
+    Graph.create_node ~labels:[ "B" ]
+      ~props:(Props.of_list [ ("k", Value.Int 7) ])
+      g
+  in
+  let _, g = Graph.create_rel ~src:n0 ~tgt:n1 ~r_type:"R" g in
+  (n0, n1, g)
+
+let lifecycle_tests =
+  [
+    Test_util.case "persistent backend never builds a CSR" (fun () ->
+        let _, _, g = small_graph () in
+        Graph.ensure_csr g;
+        Alcotest.(check bool) "no view" true (Graph.csr_view g = None));
+    Test_util.case "csr_view is passive, ensure_csr builds" (fun () ->
+        let _, _, g = small_graph () in
+        let g = Graph.with_backend `Compact g in
+        Alcotest.(check bool) "no view before ensure" true
+          (Graph.csr_view g = None);
+        Graph.ensure_csr g;
+        Alcotest.(check bool) "view after ensure" true
+          (Graph.csr_view g <> None));
+    Test_util.case "CSR is reused while content is unchanged" (fun () ->
+        let _, _, g = small_graph () in
+        let g = Graph.with_backend `Compact g in
+        Graph.ensure_csr g;
+        let c1 = Option.get (Graph.csr_view g) in
+        Graph.ensure_csr g;
+        let c2 = Option.get (Graph.csr_view g) in
+        Alcotest.(check bool) "physically the same snapshot" true (c1 == c2);
+        (* re-flagging the backend (what Api does per statement) must
+           not invalidate either *)
+        let g' = Graph.with_backend `Compact (Graph.with_backend `Persistent g) in
+        Alcotest.(check bool) "survives backend re-flagging" true
+          (match Graph.csr_view g' with Some c -> c == c1 | None -> false));
+    Test_util.case "update invalidates, next ensure rebuilds" (fun () ->
+        let _, _, g = small_graph () in
+        let g = Graph.with_backend `Compact g in
+        Graph.ensure_csr g;
+        let c1 = Option.get (Graph.csr_view g) in
+        let _, g2 = Graph.create_node ~labels:[ "C" ] g in
+        Alcotest.(check bool) "stale view not served" true
+          (Graph.csr_view g2 = None);
+        Graph.ensure_csr g2;
+        let c2 = Option.get (Graph.csr_view g2) in
+        Alcotest.(check bool) "rebuilt, not reused" true (not (c1 == c2));
+        Alcotest.(check int) "new snapshot sees the new node" 3
+          c2.Graph.Csr.node_count);
+    Test_util.case "CSR content mirrors the maps" (fun () ->
+        let n0, n1, g = small_graph () in
+        let g = Graph.with_backend `Compact g in
+        Graph.ensure_csr g;
+        let c = Option.get (Graph.csr_view g) in
+        Alcotest.(check int) "node count" 2 c.Graph.Csr.node_count;
+        Alcotest.(check int) "rel count" 1 c.Graph.Csr.rel_count;
+        let i0 = Graph.Csr.node_idx c n0 and i1 = Graph.Csr.node_idx c n1 in
+        Alcotest.(check bool) "both nodes present" true (i0 >= 0 && i1 >= 0);
+        let sym_b = Option.get (Symtab.find "B") in
+        Alcotest.(check bool) "label arena" true
+          (Graph.Csr.has_label_sym c i1 sym_b
+          && not (Graph.Csr.has_label_sym c i0 sym_b));
+        let sym_k = Option.get (Symtab.find "k") in
+        Alcotest.(check bool) "property arena" true
+          (Value.equal_strict (Graph.Csr.node_prop_sym c i1 sym_k)
+             (Value.Int 7));
+        Alcotest.(check bool) "footprint is positive" true
+          (Graph.Csr.footprint_words c > 0));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Backend equivalence on a small workload                            *)
+(* ------------------------------------------------------------------ *)
+
+let workload =
+  [
+    "CREATE (:User {id: 1, name: 'ada'})-[:KNOWS {since: 2001}]->(:User \
+     {id: 2, name: 'bob'})";
+    "CREATE (:User {id: 3})";
+    "MATCH (a:User)-[k:KNOWS]->(b:User) RETURN a.name, k.since, b.name";
+    "MATCH (a:User) WHERE a.id % 2 = 1 SET a:Odd RETURN count(*) AS n";
+    "MATCH (a:Odd) RETURN a.id ORDER BY a.id";
+    "MERGE ALL (:User {id: 2})-[:KNOWS]->(:User {id: 3})";
+    "MATCH (a)-[r]-(b) RETURN count(*) AS n";
+    "MATCH (a:User) DETACH DELETE a RETURN count(*) AS n";
+  ]
+
+let run_workload backend =
+  let config = Config.with_backend backend Config.revised in
+  let outs = Buffer.create 256 in
+  let g =
+    List.fold_left
+      (fun g src ->
+        match Api.run_string_full ~config g src with
+        | Error e -> Alcotest.failf "%s: %s" src (Cypher_core.Errors.to_string e)
+        | Ok r ->
+            Buffer.add_string outs
+              (Cypher_table.Table.to_string r.Api.r_table);
+            Buffer.add_string outs (Cypher_core.Stats.to_string r.Api.r_stats);
+            Buffer.add_char outs '\n';
+            r.Api.r_graph)
+      Graph.empty workload
+  in
+  (Graph.to_string g, Buffer.contents outs)
+
+let equivalence_tests =
+  [
+    Test_util.case "workload is byte-identical across backends" (fun () ->
+        let gp, op = run_workload `Persistent in
+        let gc, oc = run_workload `Compact in
+        Alcotest.(check string) "tables and counters" op oc;
+        Alcotest.(check string) "final graph" gp gc);
+    Test_util.case "config backend flows through the Api" (fun () ->
+        let _, _, g = small_graph () in
+        let config = Config.with_backend `Compact Config.revised in
+        match Api.run_string ~config g "MATCH (a:A)-[:R]->(b:B) RETURN b.k" with
+        | Error e -> Alcotest.failf "%s" (Cypher_core.Errors.to_string e)
+        | Ok o ->
+            Alcotest.(check int) "one row" 1
+              (Cypher_table.Table.row_count o.Api.table);
+            (* the statement ran compact: its result graph carries the
+               flag and, being content-identical, still sees the CSR *)
+            Alcotest.(check bool) "backend flag" true
+              (Graph.backend o.Api.graph = `Compact));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* count( * ) fusion                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A graph exercising every corner the counting traversal specialises
+   over: a directed cycle, a self-loop, parallel relationships, and a
+   relationship property. *)
+let fusion_graph config =
+  List.fold_left
+    (fun g src ->
+      match Api.run_string ~config g src with
+      | Error e -> Alcotest.failf "%s: %s" src (Cypher_core.Errors.to_string e)
+      | Ok o -> o.Api.graph)
+    Graph.empty
+    [
+      "CREATE (a:User {id: 1})-[:KNOWS {since: 2001}]->(b:User {id: \
+       2})-[:KNOWS]->(c:User {id: 3})-[:KNOWS]->(a)";
+      "MATCH (a:User {id: 1}) CREATE (a)-[:KNOWS]->(a)";
+      "MATCH (a:User {id: 1}), (b:User {id: 2}) CREATE (a)-[:LIKES]->(b), \
+       (a)-[:LIKES]->(b)";
+    ]
+
+let fusion_queries =
+  [
+    "MATCH (a:User)-[:KNOWS]->(b) RETURN count(*) AS n";
+    (* cyclic: the far end must rebind to the already-bound [a] *)
+    "MATCH (a)-[:KNOWS]->(a) RETURN count(*) AS loops";
+    (* two patterns: relationship isomorphism spans the tuple *)
+    "MATCH (a)-[r]->(b), (c)-[s]->(d) RETURN count(*) AS pairs";
+    "MATCH (a)-[:KNOWS*1..2]->(b) RETURN count(*) AS n";
+    (* undirected enumeration, self-loop taken once *)
+    "MATCH (a)-[:KNOWS]-(b) RETURN count(*) AS n";
+    (* relationship property map: the record-free leaf must stand down *)
+    "MATCH (a)-[:KNOWS {since: 2001}]->(b) RETURN count(*) AS n";
+    (* a WITH-driven MATCH: one count per driving row, summed *)
+    "MATCH (a:User) WITH a MATCH (a)-[:KNOWS]->(b) RETURN count(*) AS n";
+    "MATCH (missing:Nope) RETURN count(*) AS n";
+  ]
+
+let fusion_configs =
+  [
+    ("revised planner persistent", Config.revised);
+    ("revised planner compact", Config.with_backend `Compact Config.revised);
+    ("revised naive persistent", Config.with_planner Config.Off Config.revised);
+    ( "revised naive compact",
+      Config.with_backend `Compact (Config.with_planner Config.Off Config.revised)
+    );
+    ("cypher9 compact", Config.with_backend `Compact Config.cypher9);
+  ]
+
+let fusion_tests =
+  [
+    Test_util.case "fused count( * ) agrees with the unfused PROFILE path"
+      (fun () ->
+        (* PROFILE disables the fusion, so the same statement runs the
+           materialising pipeline: rows, then the aggregate projection *)
+        List.iter
+          (fun (cname, config) ->
+            let g = fusion_graph config in
+            List.iter
+              (fun q ->
+                let fused =
+                  match Api.run_string ~config g q with
+                  | Error e ->
+                      Alcotest.failf "%s [%s]: %s" q cname
+                        (Cypher_core.Errors.to_string e)
+                  | Ok o -> Cypher_table.Table.to_string o.Api.table
+                in
+                let unfused =
+                  match Api.run_string_full ~config g ("PROFILE " ^ q) with
+                  | Error e ->
+                      Alcotest.failf "PROFILE %s [%s]: %s" q cname
+                        (Cypher_core.Errors.to_string e)
+                  | Ok r -> Cypher_table.Table.to_string r.Api.r_table
+                in
+                Alcotest.(check string)
+                  (Printf.sprintf "%s [%s]" q cname)
+                  unfused fused)
+              fusion_queries)
+          fusion_configs)
+  ]
+
+let suite = symtab_tests @ lifecycle_tests @ equivalence_tests @ fusion_tests

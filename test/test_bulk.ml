@@ -1,0 +1,278 @@
+(** The streaming bulk loader: CSV validation (structured errors with
+    file and line, never a partial graph), batching into [`Bulk]
+    journal frames, the closed-store failure mode, and durability of a
+    bulk load through crash recovery. *)
+
+open Cypher_graph
+module Config = Cypher_core.Config
+module Errors = Cypher_core.Errors
+module Session = Cypher_core.Session
+module Store = Cypher_storage.Store
+module Bulk = Cypher_storage.Bulk
+module Wal = Cypher_storage.Wal
+
+let tmpdir () =
+  let path = Filename.temp_file "cypher_bulk" "" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  path
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let with_tmpdir f =
+  let dir = tmpdir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let nodes_csv =
+  "id,labels,name,age\n\
+   u1,User,ada,36\n\
+   u2,User;Admin,bob,\n\
+   p1,Product,widget,2\n"
+
+let rels_csv =
+  "src,tgt,type,since\nu1,u2,KNOWS,2001\nu1,p1,ORDERED,\nu2,p1,ORDERED,2020\n"
+
+let fresh_session () = Session.create ~config:Config.revised Graph.empty
+
+let load ?batch_size session ~nodes ~rels =
+  Bulk.load_strings ?batch_size session ~nodes ~rels
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let check_error ~sub result =
+  match result with
+  | Ok (_ : Bulk.report) -> Alcotest.failf "load succeeded, expected %S" sub
+  | Error e ->
+      let msg = Errors.to_string e in
+      Alcotest.(check bool)
+        (Printf.sprintf "%S appears in %S" sub msg)
+        true (contains ~sub msg)
+
+let validation_tests =
+  [
+    Test_util.case "happy path: graph, report and batching" (fun () ->
+        let s = fresh_session () in
+        match load ~batch_size:2 s ~nodes:nodes_csv ~rels:rels_csv with
+        | Error e -> Alcotest.failf "load: %s" (Errors.to_string e)
+        | Ok r ->
+            Alcotest.(check int) "nodes" 3 r.Bulk.nodes_created;
+            Alcotest.(check int) "rels" 3 r.Bulk.rels_created;
+            (* 3 nodes + 3 rels at batch_size 2: 2 node frames, 2 rel
+               frames *)
+            Alcotest.(check int) "frames" 4 r.Bulk.batches;
+            let g = Session.graph s in
+            Alcotest.(check int) "node count" 3 (Graph.node_count g);
+            Alcotest.(check int) "rel count" 3 (Graph.rel_count g);
+            (* typed properties and multi-labels made it through *)
+            match
+              Session.run s
+                "MATCH (a:Admin:User {name: 'bob'})<-[k:KNOWS {since: \
+                 2001}]-(u) RETURN u.name AS n, u.age AS age"
+            with
+            | Error e -> Alcotest.failf "query: %s" (Errors.to_string e)
+            | Ok res ->
+                Alcotest.(check int) "one row" 1
+                  (Cypher_table.Table.row_count res.Cypher_core.Api.r_table));
+    Test_util.case "CRLF and quoted fields load" (fun () ->
+        let s = fresh_session () in
+        let nodes = "id,name\r\nu1,\"a,b\"\r\nu2,line\r\n" in
+        let rels = "src,tgt,type\r\nu1,u2,R\r\n" in
+        match load s ~nodes ~rels with
+        | Error e -> Alcotest.failf "load: %s" (Errors.to_string e)
+        | Ok r ->
+            Alcotest.(check int) "nodes" 2 r.Bulk.nodes_created;
+            Alcotest.(check int) "rels" 1 r.Bulk.rels_created);
+    Test_util.case "empty nodes file is a structured error" (fun () ->
+        let s = fresh_session () in
+        check_error ~sub:"bulk load (<nodes>): empty file"
+          (load s ~nodes:"" ~rels:rels_csv));
+    Test_util.case "missing required column names the header" (fun () ->
+        let s = fresh_session () in
+        check_error ~sub:"missing required column \"id\""
+          (load s ~nodes:"name\nada\n" ~rels:rels_csv));
+    Test_util.case "duplicate node id reports both lines" (fun () ->
+        let s = fresh_session () in
+        check_error
+          ~sub:"(<nodes>:3): duplicate node id \"u1\" (first seen at line 2)"
+          (load s ~nodes:"id\nu1\nu1\n" ~rels:"src,tgt,type\n"));
+    Test_util.case "row wider than the header carries its line" (fun () ->
+        let s = fresh_session () in
+        check_error ~sub:"(<nodes>:3): row has 3 fields, header has 2"
+          (load s ~nodes:"id,name\nu1,a\nu2,b,EXTRA\n" ~rels:"src,tgt,type\n"));
+    Test_util.case "unknown endpoint carries its line" (fun () ->
+        let s = fresh_session () in
+        check_error ~sub:"(<rels>:3): unknown target node id \"ghost\""
+          (load s ~nodes:"id\nu1\nu2\n"
+             ~rels:"src,tgt,type\nu1,u2,R\nu1,ghost,R\n"));
+    Test_util.case "a failed load leaves no partial graph" (fun () ->
+        let s = fresh_session () in
+        (match load s ~nodes:"id\nu1\nu2\n"
+                 ~rels:"src,tgt,type\nu1,u2,R\nu1,ghost,R\n"
+         with
+        | Ok _ -> Alcotest.fail "expected failure"
+        | Error _ -> ());
+        Alcotest.(check int) "no nodes" 0 (Graph.node_count (Session.graph s));
+        Alcotest.(check bool) "session usable, not mid-transaction" false
+          (Session.in_transaction s));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The closed store and durability                                    *)
+(* ------------------------------------------------------------------ *)
+
+let storage_tests =
+  [
+    Test_util.case "statement after close fails structured, graph frozen"
+      (fun () ->
+        with_tmpdir (fun dir ->
+            match Store.open_db (Filename.concat dir "db") with
+            | Error e -> Alcotest.fail e
+            | Ok (store, session) -> (
+                (match Session.run session "CREATE (:Live)" with
+                | Ok _ -> ()
+                | Error e -> Alcotest.failf "%s" (Errors.to_string e));
+                Store.close store;
+                match Session.run session "CREATE (:Ghost)" with
+                | Ok _ -> Alcotest.fail "update succeeded on a closed store"
+                | Error e ->
+                    (* a structured update error, not a bare Failure *)
+                    (match e with
+                    | Errors.Update_error msg ->
+                        Alcotest.(check bool) "message names the store" true
+                          (contains ~sub:"is closed" msg)
+                    | e ->
+                        Alcotest.failf "expected Update_error, got %s"
+                          (Errors.to_string e));
+                    (* write-ahead: the failed statement did not advance
+                       the in-memory graph *)
+                    Alcotest.(check int) "graph unchanged" 1
+                      (Graph.node_count (Session.graph session)))));
+    Test_util.case "bulk load on a closed store rolls back" (fun () ->
+        with_tmpdir (fun dir ->
+            match Store.open_db (Filename.concat dir "db") with
+            | Error e -> Alcotest.fail e
+            | Ok (store, session) ->
+                Store.close store;
+                (match load session ~nodes:"id\nu1\n" ~rels:"src,tgt,type\n" with
+                | Ok _ -> Alcotest.fail "load succeeded on a closed store"
+                | Error e ->
+                    Alcotest.(check bool) "structured" true
+                      (match e with Errors.Update_error _ -> true | _ -> false));
+                Alcotest.(check int) "graph unchanged" 0
+                  (Graph.node_count (Session.graph session))));
+    Test_util.case "bulk load survives close/reopen (journal replay)"
+      (fun () ->
+        with_tmpdir (fun dir ->
+            let db = Filename.concat dir "db" in
+            let before =
+              match Store.open_db db with
+              | Error e -> Alcotest.fail e
+              | Ok (store, session) ->
+                  (match Session.run session "CREATE (:Seed {id: 0})" with
+                  | Ok _ -> ()
+                  | Error e -> Alcotest.failf "%s" (Errors.to_string e));
+                  (match load ~batch_size:2 session ~nodes:nodes_csv ~rels:rels_csv with
+                  | Ok _ -> ()
+                  | Error e -> Alcotest.failf "load: %s" (Errors.to_string e));
+                  (* and a statement on top of the bulk data *)
+                  (match
+                     Session.run session
+                       "MATCH (u:User {name: 'ada'}) SET u.seen = true"
+                   with
+                  | Ok _ -> ()
+                  | Error e -> Alcotest.failf "%s" (Errors.to_string e));
+                  let g = Graph.to_string (Session.graph session) in
+                  Store.close store;
+                  g
+            in
+            match Store.open_db db with
+            | Error e -> Alcotest.fail e
+            | Ok (store, session) ->
+                let after = Graph.to_string (Session.graph session) in
+                Store.close store;
+                Alcotest.(check string) "recovered graph" before after));
+    Test_util.case "bulk frames replay after a snapshot id remap" (fun () ->
+        with_tmpdir (fun dir ->
+            let db = Filename.concat dir "db" in
+            let before =
+              match Store.open_db db with
+              | Error e -> Alcotest.fail e
+              | Ok (store, session) ->
+                  (* create a gap in the id sequence, then snapshot: the
+                     reloaded base has remapped ids, so a frame pinning
+                     internal ids would rebind — raw-id resolution must
+                     not care *)
+                  (match Session.run session "CREATE (:A), (:B), (:C)" with
+                  | Ok _ -> ()
+                  | Error e -> Alcotest.failf "%s" (Errors.to_string e));
+                  (match Session.run session "MATCH (b:B) DELETE b" with
+                  | Ok _ -> ()
+                  | Error e -> Alcotest.failf "%s" (Errors.to_string e));
+                  (match Store.compact store session with
+                  | Ok () -> ()
+                  | Error e -> Alcotest.fail e);
+                  (match load session ~nodes:"id\nx\ny\n"
+                           ~rels:"src,tgt,type\nx,y,R\n"
+                   with
+                  | Ok _ -> ()
+                  | Error e -> Alcotest.failf "load: %s" (Errors.to_string e));
+                  let g = Session.graph session in
+                  Store.close store;
+                  g
+            in
+            match Store.open_db db with
+            | Error e -> Alcotest.fail e
+            | Ok (store, session) ->
+                let after = Session.graph session in
+                Store.close store;
+                (* recovery replays on a snapshot whose ids are a
+                   monotone remap of the originals, so compare up to
+                   isomorphism, like the snapshot round-trip tests *)
+                Alcotest.check Test_util.graph_iso_testable "recovered graph"
+                  before after));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Frame round-trip                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let frame_tests =
+  [
+    Test_util.case "frames pct-encode awkward field values" (fun () ->
+        let s = fresh_session () in
+        let nodes = "id,note\n\"a b\",\"x% y\"\n\"c d\",plain\n" in
+        let rels = "src,tgt,type\n\"a b\",\"c d\",\"HAS SPACE\"\n" in
+        (match load s ~nodes ~rels with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "load: %s" (Errors.to_string e));
+        match
+          Session.run s "MATCH (a {note: 'x% y'})-[r]->(b) RETURN type(r) AS t"
+        with
+        | Error e -> Alcotest.failf "query: %s" (Errors.to_string e)
+        | Ok res -> (
+            match Cypher_table.Table.rows res.Cypher_core.Api.r_table with
+            | [ row ] ->
+                Alcotest.(check bool) "type round-trips" true
+                  (Value.equal_strict
+                     (Cypher_table.Record.find row "t")
+                     (Value.String "HAS SPACE"))
+            | rows -> Alcotest.failf "expected 1 row, got %d" (List.length rows)));
+    Test_util.case "apply_frame rejects garbage" (fun () ->
+        let ids = Bulk.create_idmap () in
+        (match Bulk.apply_frame ~ids Graph.empty "X what" with
+        | Ok _ -> Alcotest.fail "accepted a malformed line"
+        | Error _ -> ());
+        match Bulk.apply_frame ~ids Graph.empty "R a b T -" with
+        | Ok _ -> Alcotest.fail "accepted an unresolved endpoint"
+        | Error _ -> ());
+  ]
+
+let suite = validation_tests @ storage_tests @ frame_tests

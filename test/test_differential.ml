@@ -238,7 +238,7 @@ let planner_merge_checks =
   ]
 
 (* ------------------------------------------------------------------ *)
-(* Planner × parallelism 2×2 sweep                                    *)
+(* Planner × parallelism × backend 2×2×2 sweep                        *)
 (* ------------------------------------------------------------------ *)
 
 (* Parallel read phases must be unobservable (DESIGN.md "Parallel read
@@ -247,32 +247,40 @@ let planner_merge_checks =
    serial run.  This is strictly stronger than the bag equality the
    planner sweep above settles for — parallelism may not even reorder.
    The chunk threshold is forced down to 1 so the small sweep tables
-   actually split across domains. *)
+   actually split across domains.  The sweep runs once per physical
+   backend: the compact CSR layout must be just as unobservable as the
+   pool (same enumeration order, hence the same bytes). *)
 module Pool = Cypher_util.Pool
 
 let parallelism_checks =
   let settings =
     [ ("planner-on", planner_on); ("planner-off", planner_off) ]
   in
+  let backends = [ ("persistent", `Persistent); ("compact", `Compact) ] in
   List.concat_map
-    (fun (label, cfg) ->
-      List.map
-        (fun src ->
-          Test_util.case
-            (Printf.sprintf "par=4 byte-identical to par=0 (%s): %s" label src)
-            (fun () ->
-              let serial_g, serial_t =
-                run_with (Config.with_parallelism 0 cfg) src
-              in
-              let par_g, par_t =
-                Pool.with_chunk_min 1 (fun () ->
-                    run_with (Config.with_parallelism 4 cfg) src)
-              in
-              Alcotest.(check string) "table bytes"
-                (Table.to_string serial_t) (Table.to_string par_t);
-              Alcotest.(check string) "graph bytes"
-                (Graph.to_string serial_g) (Graph.to_string par_g)))
-        (read_queries @ update_queries))
+    (fun (plabel, cfg) ->
+      List.concat_map
+        (fun (blabel, backend) ->
+          let cfg = Config.with_backend backend cfg in
+          List.map
+            (fun src ->
+              Test_util.case
+                (Printf.sprintf "par=4 byte-identical to par=0 (%s, %s): %s"
+                   plabel blabel src)
+                (fun () ->
+                  let serial_g, serial_t =
+                    run_with (Config.with_parallelism 0 cfg) src
+                  in
+                  let par_g, par_t =
+                    Pool.with_chunk_min 1 (fun () ->
+                        run_with (Config.with_parallelism 4 cfg) src)
+                  in
+                  Alcotest.(check string) "table bytes"
+                    (Table.to_string serial_t) (Table.to_string par_t);
+                  Alcotest.(check string) "graph bytes"
+                    (Graph.to_string serial_g) (Graph.to_string par_g)))
+            (read_queries @ update_queries))
+        backends)
     settings
 
 let suite =

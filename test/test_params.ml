@@ -359,6 +359,7 @@ let wal_record ?(params = Smap.empty) src =
     order = Config.Forward;
     match_mode = Config.Isomorphic;
     params;
+    kind = `Statement;
   }
 
 let wal_tests =

@@ -39,7 +39,7 @@ let run_ok s src =
 let record ?(mode = Config.Atomic) ?(order = Config.Forward)
     ?(match_mode = Config.Isomorphic) ?(stats = Stats.empty)
     ?(params = Cypher_util.Maps.Smap.empty) src =
-  { Wal.src; stats; mode; order; match_mode; params }
+  { Wal.src; stats; mode; order; match_mode; params; kind = `Statement }
 
 let some_stats =
   {
