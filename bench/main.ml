@@ -65,6 +65,11 @@ let cfg_revised_par =
    persistent maps on the read path *)
 let cfg_compact = Config.with_backend `Compact cfg_revised
 
+(* slot-compiled array rows instead of per-row persistent maps on the
+   materialising read path, alone and stacked on the compact backend *)
+let cfg_revised_slots = Config.with_rows `Slots cfg_revised
+let cfg_compact_slots = Config.with_rows `Slots cfg_compact
+
 let run_q config g q =
   match Api.run_query ~config g q with
   | Ok o -> o
@@ -89,6 +94,23 @@ let q_2hop =
     "MATCH (u:User)-[:ORDERED]->(p:Product)<-[:OFFERS]-(v:Vendor) RETURN \
      count(*) AS n"
 let q_1hop = parse_q "MATCH (u:User)-[:ORDERED]->(p:Product) RETURN count(*) AS n"
+
+(* the same 2-hop shape, but count(p) instead of the bare count-star:
+   the star form is fused into a counting walk that never materialises
+   rows, so this variant is the one that actually exercises the row
+   pipeline — every embedding becomes a driving-table row *)
+let q_2hop_rows =
+  parse_q
+    "MATCH (u:User)-[:ORDERED]->(p:Product)<-[:OFFERS]-(v:Vendor) RETURN \
+     count(p) AS n"
+
+(* an unbounded undirected BFS between the first and last user of the
+   tier-5 fixture (User ids are 100000+k): the whole graph is explored
+   before the search concludes, so this times frontier expansion *)
+let q_sp =
+  parse_q
+    "MATCH (a:User {id: 100000}), (b:User {id: 167999}) RETURN \
+     length(shortestPath((a)-[*]-(b))) AS l"
 
 (* point lookup: one user out of 680, by property equality *)
 let q_point = parse_q "MATCH (u:User {id: 100042}) RETURN u.name AS name"
@@ -517,6 +539,16 @@ let tier5 () =
         ("match/1hop/n=1e5/compact", cfg_compact, q_1hop);
         ("match/2hop/n=1e5", cfg_revised, q_2hop);
         ("match/2hop/n=1e5/compact", cfg_compact, q_2hop);
+        (* the materialising variant (count(p) defeats the counting
+           fusion), record rows vs slot-compiled array rows *)
+        ("match/2hop-rows/n=1e5", cfg_revised, q_2hop_rows);
+        ("match/2hop-rows/n=1e5/slots", cfg_revised_slots, q_2hop_rows);
+        ("match/2hop-rows/n=1e5/compact", cfg_compact, q_2hop_rows);
+        ("match/2hop-rows/n=1e5/compact/slots", cfg_compact_slots, q_2hop_rows);
+        (* whole-graph BFS: persistent hash-table visited set vs the
+           CSR dense-array frontier *)
+        ("shortestpath/n=1e5", cfg_revised, q_sp);
+        ("shortestpath/n=1e5/compact", cfg_compact, q_sp);
       ]
   in
   let meta =
@@ -730,7 +762,10 @@ let load_pinned path =
 
 (* the update-path entries: every one runs through the stats-threaded
    code with collection disabled, so their ratio against the pinned
-   pre-observability numbers is the disabled-collector overhead *)
+   pre-observability numbers is the disabled-collector overhead.  The
+   two read-path entries at the end gate the `Records default through
+   the dual-representation Record: every accessor now dispatches on the
+   representation, and these hold that dispatch to the same budget *)
 let overhead_subset =
   [
     "set/legacy/100";
@@ -740,6 +775,8 @@ let overhead_subset =
     "create/100-paths";
     "merge/all/100";
     "endtoend/session/n=100";
+    "match/2hop/n=1000";
+    "project/unwind-filter/n=5000";
   ]
 
 (** Re-times the update benches (stats collection disabled, as the

@@ -116,6 +116,22 @@ let hoisted_plans ?slot config g t patterns =
                       Plan_memo.store memo key plans;
                     plans))
 
+(* Slot seeding: under [Config.rows = `Slots] a read clause compiles
+   its output column set to a slot layout once, and re-lays each driving
+   row out as a flat value array over it before expansion.  Every bind
+   in the match/unwind inner loop is then an array copy plus an index
+   store, and every lookup an index load — no string-keyed map rebuilds
+   on the hot path.  Pattern variables start absent and are filled by
+   the matcher through the ordinary [Record] API, so the layout is
+   stable across the whole expansion and the final [Table.make]
+   projection is a no-op per row.  Identity under [`Records]. *)
+let row_seeder config columns =
+  match Runtime.rows_of config with
+  | `Records -> Fun.id
+  | `Slots ->
+      let tab = Slots.of_names columns in
+      Record.seed tab
+
 let exec_match ?slot config (g, t) ~optional ~patterns ~where =
   let vars = List.concat_map pattern_vars patterns in
   let columns = Table.columns t @ vars in
@@ -124,8 +140,21 @@ let exec_match ?slot config (g, t) ~optional ~patterns ~where =
      build their own *)
   Graph.ensure_csr g;
   let plans = hoisted_plans ?slot config g t patterns in
+  let seed = row_seeder config columns in
+  let mode = Runtime.match_mode_of config in
+  let planner = Runtime.planner_on config in
+  let pad row =
+    (* pad the pattern variables with nulls *)
+    List.fold_left
+      (fun r v -> if Record.mem r v then r else Record.bind r v Value.Null)
+      row vars
+  in
   let expand row =
-    let matches = Matcher.match_patterns ~mode:(Runtime.match_mode_of config) ~planner:(Runtime.planner_on config) ?plans (ctx_of config g row) patterns in
+    let row = seed row in
+    let matches =
+      Matcher.match_patterns ~mode ~planner ?plans (ctx_of config g row)
+        patterns
+    in
     let matches =
       match where with
       | None -> matches
@@ -135,16 +164,44 @@ let exec_match ?slot config (g, t) ~optional ~patterns ~where =
               Tri.to_bool_where (Eval.eval_truth (ctx_of config g row') cond))
             matches
     in
-    if matches = [] && optional then
-      (* pad the pattern variables with nulls *)
-      [ List.fold_left
-          (fun r v -> if Record.mem r v then r else Record.bind r v Value.Null)
-          row vars ]
-    else matches
+    if matches = [] && optional then [ pad row ] else matches
   in
-  ( g,
-    Table.concat_map_par ~parallelism:(Runtime.parallelism_of config) columns
-      expand t )
+  match (Table.rows t, where) with
+  | [ row ], None ->
+      (* single driving row, no WHERE (every first MATCH): consume the
+         matcher's reversed accumulation directly and restore row order
+         in the same pass that builds the result table — one traversal
+         of a possibly very large expansion instead of two.  WHERE-d
+         clauses keep the natural-order path so predicate evaluation
+         order (and thus any evaluation error) is unchanged. *)
+      let row = seed row in
+      let ctx = ctx_of config g row in
+      let tbl =
+        (* fully-inverted enumeration first: rows arrive in natural
+           order over the compiled slot layout, already consistent —
+           one list spine, no reversal, no projection.  The rows bind
+           exactly [columns]: natural success means every pattern
+           variable landed in a distinct previously-absent slot of the
+           layout compiled from these very columns. *)
+        match Matcher.match_patterns_natural ~mode ~planner ?plans ctx patterns with
+        | Some rows ->
+            let rows = if rows = [] && optional then [ pad row ] else rows in
+            Table.of_consistent columns rows
+        | None ->
+            let matches_rev =
+              Matcher.match_patterns_rev ~mode ~planner ?plans ctx patterns
+            in
+            let rows_rev =
+              if matches_rev = [] && optional then [ pad row ] else matches_rev
+            in
+            Table.make_rev columns rows_rev
+      in
+      (g, tbl)
+  | _ ->
+      ( g,
+        Table.concat_map_par
+          ~parallelism:(Runtime.parallelism_of config)
+          columns expand t )
 
 (** Fused [MATCH ... RETURN count( * ) AS n]: counts embeddings per
     driving row without materialising the expanded table.  Restricted by
@@ -156,9 +213,14 @@ let exec_match ?slot config (g, t) ~optional ~patterns ~where =
 let exec_match_count ?slot config (g, t) ~patterns ~name =
   Graph.ensure_csr g;
   let plans = hoisted_plans ?slot config g t patterns in
+  let seed =
+    row_seeder config
+      (Table.columns t @ List.concat_map pattern_vars patterns)
+  in
   let total =
     Table.fold
       (fun row acc ->
+        let row = seed row in
         acc
         + Matcher.count_patterns
             ~mode:(Runtime.match_mode_of config)
@@ -170,10 +232,13 @@ let exec_match_count ?slot config (g, t) ~patterns ~name =
 
 let exec_unwind config (g, t) ~source ~alias =
   let columns = Table.columns t @ [ alias ] in
+  let seed = row_seeder config columns in
   let expand row =
     match Eval.eval (ctx_of config g row) source with
     | Value.Null -> []
-    | Value.List l -> List.map (fun v -> Record.bind row alias v) l
+    | Value.List l ->
+        let row = seed row in
+        List.map (fun v -> Record.bind row alias v) l
     | v ->
         (* UNWIND is defined on lists (and NULL, which contributes no
            rows); anything else is a type error, not a singleton list *)
@@ -315,9 +380,24 @@ let rec exec_query config ~stats ?profile ?memo ~counter (g, t) (q : query) =
     is only checked here, at the statement boundary — mirroring Neo4j's
     commit-time dangling check (Section 4.2). *)
 let output ?(stats = Stats.null) ?profile ?memo config g (q : query) =
+  (* attribute CSR snapshot (re)build time to its own PROFILE line: the
+     build runs lazily inside whichever clause first reads after an
+     update (or a load), and at scale it dominates that clause's time
+     without being part of its steady-state cost *)
+  let csr_ns0 =
+    match profile with Some _ -> Graph.csr_build_ns_total () | None -> 0L
+  in
   let g', t' =
     exec_query config ~stats ?profile ?memo ~counter:(ref 0) (g, Table.unit) q
   in
+  (match profile with
+  | Some acc ->
+      let d = Int64.sub (Graph.csr_build_ns_total ()) csr_ns0 in
+      if d > 0L then
+        acc :=
+          { Stats.pf_clause = "[csr snapshot build]"; pf_rows = 0; pf_ns = d }
+          :: !acc
+  | None -> ());
   Stats.set_rows stats (Table.row_count t');
   (match config.Config.mode with
   | Config.Legacy ->

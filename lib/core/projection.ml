@@ -92,6 +92,29 @@ let run config (g, t) (proj : projection) =
   | None -> ());
   let has_agg = List.exists (fun it -> expr_has_agg it.item_expr) items in
   let parallelism = Runtime.parallelism_of config in
+  (* Builds one projected row by evaluating the items left to right.
+     Under [`Slots] the output layout is compiled once ([names] is
+     duplicate-free — checked above, so item positions and slots align)
+     and each row is a single array; under [`Records] the original
+     per-item map build.  Evaluation order is identical. *)
+  let mk_projected =
+    match Runtime.rows_of config with
+    | `Records ->
+        fun ctx ->
+          List.fold_left2
+            (fun acc name it ->
+              Record.bind acc name (Eval.eval ctx it.item_expr))
+            Record.empty names items
+    | `Slots ->
+        let tab = Cypher_table.Slots.of_names names in
+        let width = List.length names in
+        fun ctx ->
+          let cells = Array.make width Value.Null in
+          List.iteri
+            (fun i it -> cells.(i) <- Eval.eval ctx it.item_expr)
+            items;
+          Record.of_slots tab cells
+  in
   let out_rows =
     if not has_agg then
       (* per-row expression evaluation reads only the immutable input
@@ -100,12 +123,7 @@ let run config (g, t) (proj : projection) =
       Cypher_util.Pool.map_chunks ~parallelism
         (fun row ->
           let ctx = Runtime.ctx config g row in
-          let projected =
-            List.fold_left2
-              (fun acc name it -> Record.bind acc name (Eval.eval ctx it.item_expr))
-              Record.empty names items
-          in
-          { projected; source = row; group = None })
+          { projected = mk_projected ctx; source = row; group = None })
         (Table.rows t)
     else begin
       (* implicit grouping: non-aggregate items are the grouping keys *)
@@ -131,12 +149,7 @@ let run config (g, t) (proj : projection) =
           let ctx =
             Ctx.with_group (Runtime.ctx config g source) rows
           in
-          let projected =
-            List.fold_left2
-              (fun acc name it -> Record.bind acc name (Eval.eval ctx it.item_expr))
-              Record.empty names items
-          in
-          { projected; source; group = Some rows })
+          { projected = mk_projected ctx; source; group = Some rows })
         groups
     end
   in

@@ -31,6 +31,12 @@ let with_row ctx row = { ctx with row }
 let with_group ctx rows = { ctx with group = Some rows }
 let without_group ctx = { ctx with group = None }
 
+(** [with_row_no_group ctx row] is
+    [without_group (with_row ctx row)] in one allocation — the
+    per-group-row context of aggregate evaluation, built once per input
+    row of every aggregating projection. *)
+let with_row_no_group ctx row = { ctx with row; group = None }
+
 (** Evaluation failure (type errors, unknown variables, division by
     zero, …).  Caught at the statement boundary and surfaced as a typed
     error by the engine. *)

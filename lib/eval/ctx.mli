@@ -35,6 +35,10 @@ val with_row : t -> Record.t -> t
 val with_group : t -> Record.t list -> t
 val without_group : t -> t
 
+(** [with_row_no_group ctx row] is
+    [without_group (with_row ctx row)] in one allocation. *)
+val with_row_no_group : t -> Record.t -> t
+
 (** Evaluation failure (type errors, unknown variables, division by
     zero, …).  Caught at the statement boundary and surfaced as a typed
     error by the engine. *)

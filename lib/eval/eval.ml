@@ -343,12 +343,43 @@ and eval_agg (ctx : Ctx.t) kind distinct arg : Value.t =
   match ctx.group with
   | None -> error "aggregate function used outside RETURN/WITH"
   | Some rows -> (
+      (* a bare-variable argument — the common count(x)/collect(x)
+         shape — reads each row directly: same lookup and same error as
+         the Var case of [eval], without allocating a per-row context.
+         The lookup is layout-compiled against the first row
+         ({!Cypher_table.Record.compile_find}), so a slot-row group
+         reads each row by array probe instead of name resolution. *)
+      let compiled_find v =
+        match rows with
+        | [] -> fun row -> Cypher_table.Record.find_opt row v
+        | r0 :: _ -> Cypher_table.Record.compile_find r0 v
+      in
       let per_row e =
-        List.map (fun row -> eval (Ctx.without_group (Ctx.with_row ctx row)) e) rows
+        match e with
+        | Var v ->
+            let find = compiled_find v in
+            List.map
+              (fun row ->
+                match find row with
+                | Some x -> x
+                | None -> error "variable `%s` is not defined" v)
+              rows
+        | e -> List.map (fun row -> eval (Ctx.with_row_no_group ctx row) e) rows
       in
       match (kind, arg) with
       | Count, None -> Value.Int (List.length rows)
       | _, None -> error "only count may be applied to *"
+      | Count, Some (Var v) when not distinct ->
+          (* counting a variable needs neither contexts nor a
+             materialised value list *)
+          let find = compiled_find v in
+          Value.Int
+            (List.fold_left
+               (fun count row ->
+                 match find row with
+                 | Some x -> if Value.is_null x then count else count + 1
+                 | None -> error "variable `%s` is not defined" v)
+               0 rows)
       | kind, Some e -> (
           let values =
             List.filter (fun v -> not (Value.is_null v)) (per_row e)

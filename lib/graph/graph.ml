@@ -517,6 +517,16 @@ let csr_view g =
     no-op under the persistent backend or when the cached snapshot is
     still valid (reads between updates reuse it); any update to nodes
     or relationships invalidates it structurally. *)
+(* Cumulative wall-time spent building CSR snapshots, process-wide.
+   Surfaced as a PROFILE line by the engine: the first read after a
+   bulk load can spend seconds here (23 s at n=10⁶), and without this
+   counter that cost hides inside whichever clause triggered the
+   rebuild.  Builds happen at read-phase boundaries before any pool
+   fan-out, so the plain ref is not contended. *)
+let csr_build_ns = ref 0L
+
+let csr_build_ns_total () = !csr_build_ns
+
 let ensure_csr g =
   match g.backend with
   | `Persistent -> ()
@@ -524,7 +534,8 @@ let ensure_csr g =
       match csr_view g with
       | Some _ -> ()
       | None ->
-          let c = build_csr g in
+          let c, ns = Cypher_util.Mclock.span_ns (fun () -> build_csr g) in
+          csr_build_ns := Int64.add !csr_build_ns ns;
           g.ccache.ce <- Some { ce_nodes = g.nodes; ce_rels = g.rels; ce_csr = c })
 
 (** Relationships leaving node [id], in id order. *)

@@ -117,6 +117,12 @@ val csr_view : t -> Csr.t option
     it. *)
 val ensure_csr : t -> unit
 
+(** Cumulative monotonic wall-time spent in CSR builds, process-wide.
+    Differences between two readings attribute snapshot (re)build cost
+    to a span of work — the engine turns the per-statement delta into a
+    PROFILE line. *)
+val csr_build_ns_total : unit -> int64
+
 (** {1 Lookup} *)
 
 val node : t -> node_id -> node option

@@ -42,6 +42,24 @@ let make columns rows =
   let columns = dedup_columns columns in
   { columns; rows = List.map (fun r -> Record.project r columns) rows }
 
+(** [make_rev columns rows_rev] is [make columns (List.rev rows_rev)] in
+    one traversal: the reversal and the consistency projection share a
+    single [List.rev_map] pass (projection is pure, so evaluation order
+    is unobservable).  For producers that naturally accumulate rows in
+    reverse — the matcher's fold — this avoids walking and re-consing a
+    large row list twice. *)
+let make_rev columns rows_rev =
+  let columns = dedup_columns columns in
+  { columns; rows = List.rev_map (fun r -> Record.project r columns) rows_rev }
+
+(** [of_consistent columns rows] adopts [rows] as-is — no per-row
+    consistency projection.  Trusted constructor for engine-internal
+    producers that already guarantee every row binds exactly [columns]
+    (the matcher's natural-order slot path, whose rows all share the
+    layout compiled from these very columns).  [columns] must already
+    be duplicate-free. *)
+let of_consistent columns rows = { columns; rows }
+
 (** [of_rows rows] infers the column set as the union of all keys. *)
 let of_rows rows =
   let columns = dedup_columns (List.concat_map Record.keys rows) in

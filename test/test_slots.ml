@@ -1,0 +1,165 @@
+(** The slot-compiled row pipeline: {!Cypher_table.Slots} layout
+    compilation, array-row {!Cypher_table.Record} semantics against the
+    map representation, and query-level byte-identity of
+    [Config.rows = `Slots] against the record default on the scope
+    shapes that stress a fixed layout — shadowing through WITH,
+    OPTIONAL MATCH null padding, FOREACH's nested scope. *)
+
+open Cypher_graph
+open Cypher_table
+module Config = Cypher_core.Config
+module Api = Cypher_core.Api
+
+(* ------------------------------------------------------------------ *)
+(* Slots layouts                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let slots_tests =
+  [
+    Test_util.case "of_names dedups to first occurrence" (fun () ->
+        let tab = Slots.of_names [ "a"; "b"; "a"; "c"; "b" ] in
+        Alcotest.(check int) "width" 3 (Slots.width tab);
+        Alcotest.(check (list string))
+          "names in slot order" [ "a"; "b"; "c" ] (Slots.names tab);
+        Alcotest.(check int) "a" 0 (Slots.index tab "a");
+        Alcotest.(check int) "b" 1 (Slots.index tab "b");
+        Alcotest.(check int) "c" 2 (Slots.index tab "c");
+        Alcotest.(check int) "unknown" (-1) (Slots.index tab "zzz"));
+    Test_util.case "extend appends and is memoized" (fun () ->
+        let tab = Slots.of_names [ "a"; "b" ] in
+        let tab' = Slots.extend tab "c" in
+        Alcotest.(check int) "new slot at the end" 2 (Slots.index tab' "c");
+        Alcotest.(check int) "old slots stable" 0 (Slots.index tab' "a");
+        Alcotest.(check int) "base unchanged" (-1) (Slots.index tab "c");
+        Alcotest.(check bool)
+          "same extension, same table" true
+          (Slots.extend tab "c" == tab'));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Array rows vs map rows                                             *)
+(* ------------------------------------------------------------------ *)
+
+let bindings = [ ("x", Value.Int 1); ("y", Value.String "s") ]
+
+let record_tests =
+  [
+    Test_util.case "seeded row observes exactly like the map row" (fun () ->
+        let m = Record.of_list bindings in
+        let a = Record.seed (Slots.of_names [ "x"; "y"; "z" ]) m in
+        Alcotest.(check bool) "equal" true (Record.equal m a);
+        Alcotest.(check (list string))
+          "keys ascend, absent slot invisible" [ "x"; "y" ] (Record.keys a);
+        Alcotest.(check bool) "unbound layout name reads as absent" true
+          (Record.find_opt a "z" = None);
+        Alcotest.(check bool) "find pads with null" true
+          (Record.find a "z" = Value.Null));
+    Test_util.case "slot_bind: store, idempotent rebind, conflict" (fun () ->
+        let tab = Slots.of_names [ "x"; "y" ] in
+        let r = Record.seed tab (Record.of_list [ ("x", Value.Int 1) ]) in
+        let i = Slots.index tab "y" in
+        (match Record.slot_bind r i (Value.Int 7) with
+        | None -> Alcotest.fail "empty slot must bind"
+        | Some r' -> (
+            Alcotest.(check bool) "bound" true
+              (Record.find_opt r' "y" = Some (Value.Int 7));
+            Alcotest.(check bool) "base row untouched" true
+              (Record.find_opt r "y" = None);
+            match Record.slot_bind r' i (Value.Int 7) with
+            | Some r'' ->
+                Alcotest.(check bool) "equal rebind is the same row" true
+                  (r'' == r')
+            | None -> Alcotest.fail "equal rebind must succeed"));
+        Alcotest.(check bool) "conflicting rebind fails" true
+          (Record.slot_bind
+             (Record.seed tab (Record.of_list bindings))
+             0 (Value.Int 99)
+          = None));
+    Test_util.case "bind outside the layout extends it" (fun () ->
+        let r = Record.seed (Slots.of_names [ "x" ]) (Record.of_list bindings) in
+        let r' = Record.bind r "w" (Value.Bool true) in
+        Alcotest.(check bool) "new binding visible" true
+          (Record.find_opt r' "w" = Some (Value.Bool true));
+        Alcotest.(check (list string)) "keys" [ "w"; "x" ] (Record.keys r'));
+    Test_util.case "compile_find probes slot rows, falls back on maps"
+      (fun () ->
+        let tab = Slots.of_names [ "x"; "y" ] in
+        let a = Record.seed tab (Record.of_list bindings) in
+        let m = Record.of_list [ ("x", Value.Int 42) ] in
+        let find = Record.compile_find a "x" in
+        Alcotest.(check bool) "same-layout row" true
+          (find a = Some (Value.Int 1));
+        Alcotest.(check bool) "map row falls back" true
+          (find m = Some (Value.Int 42));
+        let find_z = Record.compile_find a "zzz" in
+        Alcotest.(check bool) "name outside the layout" true (find_z a = None));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Query-level byte-identity: `Slots vs `Records                      *)
+(* ------------------------------------------------------------------ *)
+
+let setup =
+  [
+    "CREATE (:A {id: 1, x: 10})-[:R]->(:B {id: 2, x: 20})";
+    "CREATE (:A {id: 3, x: 30})-[:R]->(:B {id: 4, x: 40})";
+    "CREATE (:C {id: 5})";
+  ]
+
+let scope_queries =
+  [
+    (* natural-order expansion (the inverted-enumeration fast path on
+       the compact backend): row order must be indistinguishable *)
+    "MATCH (a:A)-[r:R]->(b:B) RETURN a.id AS aid, b.id AS bid";
+    "MATCH (a)-[r]-(b) RETURN a.id AS aid, b.id AS bid";
+    (* WITH renaming and shadowing: the layout changes at each clause *)
+    "MATCH (a:A) WITH a.id AS n WITH n AS m, n * 2 AS n RETURN m, n";
+    "MATCH (a:A) WITH a.x AS x MATCH (b:B) WHERE b.x > x RETURN x, b.id AS \
+     bid";
+    (* OPTIONAL MATCH pads pattern variables with nulls in-layout *)
+    "MATCH (a:A) OPTIONAL MATCH (a)-[:R]->(z:Missing) RETURN a.id AS aid, z";
+    "OPTIONAL MATCH (c:C)-[:R]->(z) RETURN c.id AS cid, z";
+    (* UNWIND drives the slot row through expansion and filtering *)
+    "UNWIND [3, 1, 2] AS i WITH i WHERE i > 1 RETURN i ORDER BY i";
+    "MATCH (a:A) UNWIND [1, 2] AS k RETURN a.id AS aid, k";
+  ]
+
+let update_queries =
+  [
+    (* FOREACH opens a nested scope over the driving row *)
+    "MATCH (a:A) FOREACH (i IN [1, 2] | CREATE (:T {k: i, src: a.id}))";
+    "MATCH (a:A)-[:R]->(b:B) SET b.seen = a.id RETURN count(*) AS n";
+  ]
+
+let run config g src =
+  match Api.run_string ~config g src with
+  | Ok o -> (o.Api.graph, o.Api.table)
+  | Error e ->
+      Alcotest.failf "query failed: %s" (Cypher_core.Errors.to_string e)
+
+let build config = List.fold_left (fun g src -> fst (run config g src)) Graph.empty setup
+
+let byte_identity_checks =
+  List.concat_map
+    (fun (blabel, backend) ->
+      let base = Config.with_backend backend Config.revised in
+      List.map
+        (fun src ->
+          Test_util.case
+            (Printf.sprintf "slots = records bytes (%s): %s" blabel src)
+            (fun () ->
+              let run_rows rows =
+                let config = Config.with_rows rows base in
+                run config (build config) src
+              in
+              let rg, rt = run_rows `Records in
+              let sg, st = run_rows `Slots in
+              Alcotest.(check string) "table bytes" (Table.to_string rt)
+                (Table.to_string st);
+              Alcotest.(check string) "graph bytes" (Graph.to_string rg)
+                (Graph.to_string sg)))
+        (scope_queries @ update_queries))
+    [ ("persistent", `Persistent); ("compact", `Compact) ]
+
+let suite =
+  slots_tests @ record_tests @ byte_identity_checks
