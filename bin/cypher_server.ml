@@ -1,0 +1,84 @@
+(** The network front door: a concurrent multi-session Cypher server.
+
+    {v
+    cypher_server [--port N] [--host A] [--db DIR] [--no-fsync]
+                  [--readers N] [--no-group-commit]
+    v}
+
+    Protocol: newline-delimited text, one request per line (a Cypher
+    statement or a [:]-command), each answered by payload lines plus an
+    [OK rows=<n> version=<v>] / [ERR <msg>] terminator — try it with
+    [printf 'CREATE (:A)\n:quit\n' | nc 127.0.0.1 <port>].
+
+    With [--db DIR] every committed transaction write-aheads to the
+    directory's journal before publishing (group commit: one fsync per
+    concurrent batch); without it the server runs in memory. *)
+
+open Cypher_core
+open Cypher_server
+
+let usage =
+  "cypher_server [--port N] [--host A] [--db DIR] [--no-fsync] [--readers N] \
+   [--no-group-commit]"
+
+let () =
+  (* server allocation profile: statement execution and response
+     rendering allocate short-lived values at a high rate across many
+     connections, and the default 256k-word minor heap drives minor
+     collections into the committer's serial section.  A 8M-word minor
+     heap keeps them out of the commit path. *)
+  Gc.set { (Gc.get ()) with Gc.minor_heap_size = 8 * 1024 * 1024 };
+  let port = ref 0 in
+  let host = ref "127.0.0.1" in
+  let db = ref None in
+  let fsync = ref true in
+  let readers = ref (Cypher_util.Pool.recommended ()) in
+  let batching = ref true in
+  let spec =
+    [
+      ("--port", Arg.Set_int port, "N listen port (default: ephemeral)");
+      ("--host", Arg.String (fun h -> host := h), "A bind address (default 127.0.0.1)");
+      ( "--db",
+        Arg.String (fun d -> db := Some d),
+        "DIR durable database directory (omit to run in memory)" );
+      ( "--no-fsync",
+        Arg.Clear fsync,
+        " buffered journal writes (no fsync per commit batch)" );
+      ( "--readers",
+        Arg.Set_int readers,
+        "N domain-pool width for read statements (default: cores)" );
+      ( "--no-group-commit",
+        Arg.Clear batching,
+        " flush every commit on its own (baseline mode)" );
+    ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    usage;
+  let config =
+    let c = Config.revised in
+    { c with Config.durability = (if !fsync then Config.Fsync else Config.Buffered) }
+  in
+  let graph, sink =
+    match !db with
+    | None -> (Cypher_graph.Graph.empty, None)
+    | Some dir -> (
+        match Cypher_storage.Store.open_db ~config dir with
+        | Error m ->
+            Printf.eprintf "cypher_server: %s\n%!" m;
+            exit 1
+        | Ok (store, session) ->
+            let r = Cypher_storage.Store.recovery store in
+            Printf.printf "%s\n%!" (Cypher_storage.Recovery.describe r);
+            ( Session.graph session,
+              Some (Cypher_storage.Store.append_entries store) ))
+  in
+  let shared = Shared.create ~batching:!batching ?sink graph in
+  let make_service () = Service.create ~readers:!readers ~config shared in
+  match Server.start ~host:!host ~port:!port ~make_service () with
+  | Error m ->
+      Printf.eprintf "cypher_server: %s\n%!" m;
+      exit 1
+  | Ok server ->
+      Printf.printf "listening on %s:%d\n%!" !host (Server.port server);
+      Server.wait server

@@ -1,11 +1,12 @@
 (* Command-line driver for the fuzzing/cross-validation subsystem.
 
-   Runs [n] generated cases through all nine oracles (round-trip,
+   Runs [n] generated cases through all ten oracles (round-trip,
    planner equivalence, parallel-vs-serial byte equivalence,
    legacy/revised divergence classification, result-graph
    well-formedness, update counters vs graph diff, durability
    fault injection, prepared-statement equivalence,
-   persistent-vs-compact backend byte equivalence) and exits non-zero
+   persistent-vs-compact backend byte equivalence, concurrent-workload
+   linearizability) and exits non-zero
    on any failure.  With
    [-corpus DIR], shrunk failures are appended as replayable corpus
    entries.  Wired to the [@fuzz] dune alias; [@par] runs the
@@ -33,7 +34,7 @@ let () =
       ( "-oracle",
         Arg.Set_string oracle_only,
         "NAME run only one oracle \
-         (roundtrip|planner|parallel|divergence|wellformed|counters|durability|prepared|backend)" );
+         (roundtrip|planner|parallel|divergence|wellformed|counters|durability|prepared|backend|concurrent)" );
     ]
   in
   Arg.parse spec
@@ -46,7 +47,21 @@ let () =
       let q = Cypher_fuzz.Gen.statement rng in
       Fmt.pr "-- seed %d --@.%a@.%s@." (!seed + i)
         Cypher_graph.Graph.pp g
-        (Cypher_ast.Pretty.query_to_string q)
+        (Cypher_ast.Pretty.query_to_string q);
+      let actors = Cypher_fuzz.Gen.actors rng in
+      List.iteri
+        (fun j (a : Cypher_fuzz.Gen.actor) ->
+          match a with
+          | Cypher_fuzz.Gen.Auto q ->
+              Fmt.pr "actor %d (auto): %s@." j
+                (Cypher_ast.Pretty.query_to_string q)
+          | Cypher_fuzz.Gen.Tx qs ->
+              Fmt.pr "actor %d (tx):@." j;
+              List.iter
+                (fun q ->
+                  Fmt.pr "  %s@." (Cypher_ast.Pretty.query_to_string q))
+                qs)
+        actors
     done;
     exit 0);
   (if !oracle_only <> "" then (
@@ -75,6 +90,9 @@ let () =
              Oracles.durability ~extra g q
          | "prepared" -> Oracles.prepared g q
          | "backend" -> Oracles.backend_equivalence g q
+         | "concurrent" ->
+             let actors = Cypher_fuzz.Gen.actors rng in
+             Oracles.concurrent g actors
          | o -> raise (Arg.Bad ("unknown oracle " ^ o))
        in
        match outcome with

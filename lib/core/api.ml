@@ -25,6 +25,7 @@ let wrap_errors f =
   try Ok (f ()) with
   | Errors.Error e -> Error e
   | Cypher_eval.Ctx.Error m -> Error (Errors.Eval_error m)
+  | Cypher_eval.Ctx.Internal m -> Error (Errors.Internal_error m)
   | Invalid_argument m -> Error (Errors.Eval_error m)
 
 (** [parse ~dialect src] parses and validates one statement. *)
@@ -180,6 +181,19 @@ let prepare ?(config = Config.revised) src :
 let prepared_params p = p.p_params
 
 let prepared_source p = p.p_src
+
+(** [prepared_updates p] is true when the compiled statement contains an
+    update clause in any UNION branch.  EXPLAIN never executes, so it is
+    always a read; PROFILE runs for real and classifies by content. *)
+let prepared_updates p =
+  let rec updates (q : Cypher_ast.Ast.query) =
+    List.exists Cypher_ast.Ast.is_update_clause q.Cypher_ast.Ast.clauses
+    ||
+    match q.Cypher_ast.Ast.union with
+    | None -> false
+    | Some (_, q') -> updates q'
+  in
+  p.p_prefix <> Parser.Explain && updates p.p_query
 
 (** [prepared_plan p graph] renders the execution plan the statement
     would use against [graph] (an EXPLAIN without executing). *)

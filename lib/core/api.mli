@@ -107,6 +107,11 @@ val prepared_params : prepared -> (string * (int * int)) list
 (** The statement text the compilation started from, verbatim. *)
 val prepared_source : prepared -> string
 
+(** [prepared_updates p] is true when the compiled statement contains an
+    update clause in any UNION branch — EXPLAIN statements never execute
+    and are always reads. *)
+val prepared_updates : prepared -> bool
+
 (** [prepared_plan p graph] renders the execution plan the statement
     would use against [graph] (an EXPLAIN without executing). *)
 val prepared_plan : prepared -> Graph.t -> string

@@ -29,12 +29,18 @@ type t =
   | Update_error of string
       (** malformed update: recreating a bound variable, merging on a
           null binding, … *)
+  | Internal_error of string
+      (** an engine invariant broke (a guard admitted a shape its
+          branch cannot handle).  Surfaced as a structured error so a
+          long-lived server connection reports it and survives instead
+          of dying on [assert false]. *)
 
 exception Error of t
 
 let fail e = raise (Error e)
 let eval_error fmt = Format.kasprintf (fun m -> fail (Eval_error m)) fmt
 let update_error fmt = Format.kasprintf (fun m -> fail (Update_error m)) fmt
+let internal_error fmt = Format.kasprintf (fun m -> fail (Internal_error m)) fmt
 
 let to_string = function
   | Parse_error m -> "parse error: " ^ m
@@ -57,6 +63,7 @@ let to_string = function
         Fmt.(list ~sep:(any ", ") int)
         rels
   | Update_error m -> "update error: " ^ m
+  | Internal_error m -> "internal error: " ^ m
 
 let pp ppf e = Fmt.string ppf (to_string e)
 

@@ -30,6 +30,11 @@ type t =
   | Update_error of string
       (** malformed update: recreating a bound variable, merging on a
           null binding, … *)
+  | Internal_error of string
+      (** an engine invariant broke (a guard admitted a shape its
+          branch cannot handle).  Surfaced as a structured error so a
+          long-lived server connection reports it and survives instead
+          of dying on [assert false]. *)
 
 exception Error of t
 
@@ -38,5 +43,6 @@ val fail : t -> 'a
 
 val eval_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
 val update_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+val internal_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

@@ -39,14 +39,26 @@ type journal_entry = {
   je_kind : journal_kind;
 }
 
+(** One open transaction.  The snapshot and the pending journal buffer
+    live in the same value, so rollback can never pop a snapshot without
+    also dropping exactly that transaction's buffered entries (the two
+    stacks previously lived in separate fields and could fall out of
+    step when a journal sink was attached mid-transaction). *)
+type tx_frame = {
+  fr_snapshot : Graph.t;  (** graph to restore on rollback / failed flush *)
+  fr_journaled : bool;
+      (** whether a journal sink was attached when this transaction
+          began; statements run while [false] keep the legacy
+          flush-immediately behaviour *)
+  mutable fr_entries : journal_entry list;  (** newest-first *)
+}
+
 type t = {
   mutable graph : Graph.t;
   mutable config : Config.t;
-  mutable snapshots : Graph.t list;
+  mutable frames : tx_frame list;
+      (** open transactions, innermost first *)
   mutable journal : (journal_entry list -> unit) option;
-  mutable pending : journal_entry list list;
-      (** one buffer per open transaction, innermost first; each buffer
-          holds its entries newest-first *)
   mutable cache : Api.prepared Plan_cache.t;
       (** LRU of compiled statements, keyed on normalized statement text
           plus the config fingerprint below *)
@@ -89,9 +101,8 @@ let create ?(config = Config.revised) graph =
   {
     graph;
     config;
-    snapshots = [];
+    frames = [];
     journal = None;
-    pending = [];
     cache = Plan_cache.create config.Config.plan_cache_capacity;
     fingerprint = config_fingerprint config;
   }
@@ -139,13 +150,14 @@ let set_journal s sink = s.journal <- sink
 let journal_attached s = s.journal <> None
 
 (** Transaction depth: 0 outside any transaction. *)
-let depth s = List.length s.snapshots
+let depth s = List.length s.frames
 
-let in_transaction s = s.snapshots <> []
+let in_transaction s = s.frames <> []
 
 let begin_tx s =
-  s.snapshots <- s.graph :: s.snapshots;
-  if s.journal <> None then s.pending <- [] :: s.pending
+  s.frames <-
+    { fr_snapshot = s.graph; fr_journaled = s.journal <> None; fr_entries = [] }
+    :: s.frames
 
 let flush s entries =
   match (s.journal, entries) with
@@ -165,45 +177,40 @@ let flush s entries =
                ("journal append failed: " ^ Printexc.to_string e)))
 
 let commit s =
-  match s.snapshots with
+  match s.frames with
   | [] -> Error "no transaction in progress"
-  | snapshot :: rest -> (
-      match (s.journal, s.pending) with
-      | None, _ ->
-          s.snapshots <- rest;
+  | frame :: rest -> (
+      match (frame.fr_entries, rest) with
+      | [], _ ->
+          s.frames <- rest;
           Ok ()
-      | Some _, buf :: outer :: pending ->
+      | entries, outer :: _ ->
           (* nested commit: fold the entries into the enclosing
              transaction; only the outermost commit reaches the sink *)
-          s.snapshots <- rest;
-          s.pending <- (buf @ outer) :: pending;
+          s.frames <- rest;
+          outer.fr_entries <- entries @ outer.fr_entries;
           Ok ()
-      | Some _, [ buf ] -> (
-          match flush s (List.rev buf) with
+      | entries, [] -> (
+          match flush s (List.rev entries) with
           | Ok () ->
-              s.snapshots <- rest;
-              s.pending <- [];
+              s.frames <- rest;
               Ok ()
           | Error e ->
               (* the journal is the durability contract: a commit whose
                  entries cannot be written aborts, restoring the
                  transaction's snapshot *)
-              s.graph <- snapshot;
-              s.snapshots <- rest;
-              s.pending <- [];
-              Error (Errors.to_string e))
-      | Some _, [] ->
-          (* journal attached mid-transaction: nothing was buffered *)
-          s.snapshots <- rest;
-          Ok ())
+              s.graph <- frame.fr_snapshot;
+              s.frames <- rest;
+              Error (Errors.to_string e)))
 
 let rollback s =
-  match s.snapshots with
+  match s.frames with
   | [] -> Error "no transaction in progress"
-  | snapshot :: rest ->
-      s.graph <- snapshot;
-      s.snapshots <- rest;
-      (match s.pending with [] -> () | _ :: p -> s.pending <- p);
+  | frame :: rest ->
+      (* the frame's buffered entries die with it: rollback journals
+         nothing, and the entries cannot outlive their snapshot *)
+      s.graph <- frame.fr_snapshot;
+      s.frames <- rest;
       Ok ()
 
 (* Journaling needs the update counters to decide whether a statement
@@ -229,12 +236,12 @@ let advance s ~src (r : Api.result) =
         je_kind = `Statement;
       }
     in
-    match s.pending with
-    | buf :: rest ->
-        s.pending <- (entry :: buf) :: rest;
+    match s.frames with
+    | frame :: _ when frame.fr_journaled ->
+        frame.fr_entries <- entry :: frame.fr_entries;
         s.graph <- r.Api.r_graph;
         Ok r
-    | [] -> (
+    | _ -> (
         match flush s [ entry ] with
         | Ok () ->
             s.graph <- r.Api.r_graph;
@@ -256,12 +263,12 @@ let advance_bulk s ~src ~stats graph' =
     let entry =
       { je_src = src; je_stats = stats; je_config = s.config; je_kind = `Bulk }
     in
-    match s.pending with
-    | buf :: rest ->
-        s.pending <- (entry :: buf) :: rest;
+    match s.frames with
+    | frame :: _ when frame.fr_journaled ->
+        frame.fr_entries <- entry :: frame.fr_entries;
         s.graph <- graph';
         Ok ()
-    | [] -> (
+    | _ -> (
         match flush s [ entry ] with
         | Ok () ->
             s.graph <- graph';
@@ -288,6 +295,17 @@ let compile s config src =
       | Ok p ->
           Plan_cache.add s.cache key p;
           Ok (p, `Miss))
+
+(** [prepare s src] compiles [src] through the session's plan cache
+    without executing it — a repeat call with the same normalized text
+    under the same config is a cache hit that skips lexing, parsing and
+    validation.  The server's request dispatcher classifies every
+    incoming statement (read vs update), so classification must not
+    cost a full parse per request. *)
+let prepare s src : (Api.prepared, Errors.t) result =
+  match compile s (effective_config s) src with
+  | Error e -> Error e
+  | Ok (p, _) -> Ok p
 
 (* Surfacing: EXPLAIN / PROFILE output grows a trailing cache-status
    line, so the observability layer shows whether compilation was
@@ -336,5 +354,47 @@ let run_query ?prefix s q : (Api.result, Errors.t) result =
     for persisting the cleared state, e.g. [Store.compact]). *)
 let reset s =
   s.graph <- Graph.empty;
-  s.snapshots <- [];
-  s.pending <- []
+  s.frames <- []
+
+(* ------------------------------------------------------------------ *)
+(* Server support: execution against explicit graphs                  *)
+(* ------------------------------------------------------------------ *)
+
+(** [run_on s graph src] compiles [src] through the session's plan
+    cache and executes it against [graph] — not the session graph — and
+    does not advance the session or touch the journal.  Update-counter
+    collection is forced on so the caller can classify and journal the
+    statement itself.  This is the concurrent server's executor: the
+    per-connection transaction state lives outside the session, and the
+    group committer replays buffered statements against whatever head
+    the batch is stacked on. *)
+let run_on s graph src : (Api.result, Errors.t) result =
+  let config = Config.with_stats true s.config in
+  match compile s config src with
+  | Error e -> Error e
+  | Ok (p, status) -> (
+      match Api.execute_full p config.Config.params graph with
+      | Ok r -> Ok (annotate_plan status r)
+      | Error e -> Error e)
+
+(** [run_prepared_on s graph p] is {!run_on} for a statement already
+    compiled through this session's {!prepare}: execution pays no
+    second cache lookup.  The server classifies every request by
+    compiling it, so by execution time the compiled statement is
+    already in hand — and the committer's serial section is exactly
+    where a redundant lookup per batch member would hurt. *)
+let run_prepared_on s graph (p : Api.prepared) :
+    (Api.result, Errors.t) result =
+  Api.execute_full p s.config.Config.params graph
+
+(** [set_graph s g] repositions the session on a new base graph — the
+    server moves its per-connection session onto the latest committed
+    head.  Refused inside a transaction: the open frames hold snapshots
+    of the graph being replaced, and rolling back across a reposition
+    would resurrect the old line of history. *)
+let set_graph s g =
+  if in_transaction s then Error "cannot reposition a session inside a transaction"
+  else begin
+    s.graph <- g;
+    Ok ()
+  end

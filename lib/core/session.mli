@@ -90,6 +90,13 @@ val rollback : t -> (unit, string) result
     ["plan cache: hit|miss"] line. *)
 val run : t -> string -> (Api.result, Errors.t) result
 
+(** [prepare s src] compiles [src] through the session's plan cache
+    without executing it: a repeat call with the same normalized
+    statement text under the same config skips lexing, parsing and
+    validation.  This is how the server classifies incoming statements
+    (read vs update) without paying a parse per request. *)
+val prepare : t -> string -> (Api.prepared, Errors.t) result
+
 (** [advance_bulk s ~src ~stats graph'] journals one externally-applied
     bulk batch — [src] is the batch's frame payload (the bulk loader's
     line format, not Cypher), [stats] its net update counters — and
@@ -112,3 +119,27 @@ val run_query :
 (** [reset s] drops the graph, any open transactions, and any buffered
     journal entries. *)
 val reset : t -> unit
+
+(** [run_on s graph src] compiles [src] through the session's plan
+    cache and executes it against [graph] instead of the session graph;
+    the session does not advance and nothing is journaled.
+    Update-counter collection is forced on so the caller can classify
+    and journal the statement itself.  This is the concurrent server's
+    executor: per-connection transaction state lives outside the
+    session, and the group committer replays buffered statements
+    against whatever head its batch is stacked on. *)
+val run_on : t -> Graph.t -> string -> (Api.result, Errors.t) result
+
+(** [run_prepared_on s graph p] is {!run_on} for a statement already
+    compiled through this session's {!prepare} — execution pays no
+    second plan-cache lookup.  [p] must come from a session configured
+    with update-counter collection on (the server forces it at
+    connection setup) for the result's counters to be populated. *)
+val run_prepared_on :
+  t -> Graph.t -> Api.prepared -> (Api.result, Errors.t) result
+
+(** [set_graph s g] repositions the session on a new base graph (the
+    server moves sessions onto the latest committed head).  Fails
+    inside a transaction — open snapshots must not survive a
+    reposition. *)
+val set_graph : t -> Graph.t -> (unit, string) result

@@ -43,3 +43,11 @@ let with_row_no_group ctx row = { ctx with row; group = None }
 exception Error of string
 
 let error fmt = Format.kasprintf (fun m -> raise (Error m)) fmt
+
+(** A broken engine invariant (a guard admitted a shape its branch
+    cannot handle).  Mapped to [Errors.Internal_error] at the statement
+    boundary — distinct from {!Error} so user-level evaluation failures
+    and engine bugs stay distinguishable to callers. *)
+exception Internal of string
+
+let internal fmt = Format.kasprintf (fun m -> raise (Internal m)) fmt

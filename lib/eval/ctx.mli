@@ -46,3 +46,11 @@ exception Error of string
 
 (** [error fmt ...] raises {!Error} with a formatted message. *)
 val error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** A broken engine invariant, as opposed to a user-level evaluation
+    failure.  Mapped to [Errors.Internal_error] at the statement
+    boundary so a long-lived server reports it and survives. *)
+exception Internal of string
+
+(** [internal fmt ...] raises {!Internal} with a formatted message. *)
+val internal : ('a, Format.formatter, unit, 'b) format4 -> 'a

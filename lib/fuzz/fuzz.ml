@@ -1,18 +1,22 @@
-(** The fuzzing driver: generate, run all nine oracles, shrink
+(** The fuzzing driver: generate, run all ten oracles, shrink
     failures.
 
     One iteration derives a fresh splitmix64 stream from
     [seed + iteration], generates a (graph, statement) case and runs
     the round-trip, planner-equivalence, parallel-equivalence,
     divergence-classification, well-formedness, update-counter,
-    durability, prepared-statement and backend-equivalence oracles
-    ({!Oracles}).  The
+    durability, prepared-statement, backend-equivalence and
+    concurrent-workload oracles ({!Oracles}).  The
     durability oracle extends the
     case with two more generated statements (a three-statement workload
     makes multi-record journals, so truncation sweeps cross record
-    boundaries).  Failures are shrunk with {!Shrink.minimize} under a
-    predicate that reproduces the same oracle's failure, so the
-    reported case is (locally) minimal. *)
+    boundaries); the concurrent oracle generates 2–3 whole actor
+    workloads and checks the server outcome against every serial order
+    (linearizability).  Failures are shrunk with {!Shrink.minimize}
+    under a predicate that reproduces the same oracle's failure, so the
+    reported case is (locally) minimal — except concurrent failures,
+    which thread interleaving makes nondeterministic; they are
+    reported unshrunk. *)
 
 module Graph = Cypher_graph.Graph
 module Pretty = Cypher_ast.Pretty
@@ -27,7 +31,7 @@ type failure = {
 
 type report = {
   seed : int;
-  iterations : int;  (** cases run through each of the nine oracles *)
+  iterations : int;  (** cases run through each of the ten oracles *)
   agreements : int;  (** divergence-oracle runs where both regimes agree *)
   classified : (Oracles.category * int) list;  (** sanctioned divergences *)
   failures : failure list;  (** shrunk; empty on a clean run *)
@@ -106,11 +110,20 @@ let run ?(seed = 0) ~count () =
             Result.is_error (Oracles.backend_equivalence g q))
           g q detail);
     let extra = [ Gen.statement rng; Gen.statement rng ] in
-    match Oracles.durability ~extra g q with
+    (match Oracles.durability ~extra g q with
     | Ok () -> ()
     | Error detail ->
         record ~oracle:"durability" ~iteration:i
           ~fails:(fun g q -> Result.is_error (Oracles.durability ~extra g q))
+          g q detail);
+    let actors = Gen.actors rng in
+    match Oracles.concurrent g actors with
+    | Ok () -> ()
+    | Error detail ->
+        (* thread interleaving makes reproduction nondeterministic:
+           report the failing case unshrunk *)
+        record ~oracle:"concurrent" ~iteration:i
+          ~fails:(fun _ _ -> false)
           g q detail
   done;
   {
@@ -134,7 +147,7 @@ let pp_failure ppf f =
     Graph.pp f.graph
 
 let pp_report ppf r =
-  Fmt.pf ppf "@[<v>fuzz: seed %d, %d cases x 9 oracles@," r.seed r.iterations;
+  Fmt.pf ppf "@[<v>fuzz: seed %d, %d cases x 10 oracles@," r.seed r.iterations;
   Fmt.pf ppf "divergence oracle: %d agree, %d sanctioned divergences@,"
     r.agreements
     (List.fold_left (fun acc (_, n) -> acc + n) 0 r.classified);

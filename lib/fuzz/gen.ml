@@ -505,3 +505,22 @@ let statement rng =
     if want_return then clauses @ [ gen_return rng env ] else clauses
   in
   { clauses; union = None }
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent workloads (fuzz oracle 10)                              *)
+(* ------------------------------------------------------------------ *)
+
+(** One client of a concurrent workload: a single auto-commit statement
+    or an explicit transaction of several statements. *)
+type actor = Auto of query | Tx of query list
+
+(** [actors rng] generates 2–3 concurrent clients (at most 3! = 6
+    serial orders, so the linearizability oracle can check every
+    permutation).  Statements come from the same closed vocabulary as
+    {!statement}, so concurrent actors collide on the same labels,
+    keys and entities — the interesting regime for a committer. *)
+let actors rng : actor list =
+  let n = Rng.range rng 2 3 in
+  List.init n (fun _ ->
+      if Rng.bool rng then Auto (statement rng)
+      else Tx (List.init (Rng.range rng 1 3) (fun _ -> statement rng)))

@@ -127,6 +127,7 @@ type error_kind =
   | K_delete_dangling
   | K_statement_dangling
   | K_update
+  | K_internal
 
 let error_kind = function
   | Errors.Parse_error _ -> K_parse
@@ -136,6 +137,7 @@ let error_kind = function
   | Errors.Delete_dangling _ -> K_delete_dangling
   | Errors.Statement_dangling _ -> K_statement_dangling
   | Errors.Update_error _ -> K_update
+  | Errors.Internal_error _ -> K_internal
 
 let kind_name = function
   | K_parse -> "parse"
@@ -145,6 +147,7 @@ let kind_name = function
   | K_delete_dangling -> "delete-dangling"
   | K_statement_dangling -> "statement-dangling"
   | K_update -> "update"
+  | K_internal -> "internal"
 
 (* ------------------------------------------------------------------ *)
 (* Configurations                                                     *)
@@ -1062,3 +1065,87 @@ let backend_equivalence (g : Graph.t) q : (unit, string) result =
   match check_one ~label:"revised" revised_planned q with
   | Error _ as e -> e
   | Ok () -> check_one ~label:"legacy" legacy_config (legacy_query q)
+
+(* ------------------------------------------------------------------ *)
+(* Oracle 10: concurrent workloads / linearizability                  *)
+(* ------------------------------------------------------------------ *)
+
+module Shared = Cypher_server.Shared
+module Service = Cypher_server.Service
+
+let concurrent_config = { Config.permissive with parallelism = 0 }
+
+let permutations xs =
+  let rec insert x = function
+    | [] -> [ [ x ] ]
+    | y :: ys -> (x :: y :: ys) :: List.map (fun r -> y :: r) (insert x ys)
+  in
+  List.fold_left (fun acc x -> List.concat_map (insert x) acc) [ [] ] xs
+
+(* the serial reference: one actor after another, statements in order,
+   statement-level skip-on-error — exactly the discipline the server's
+   committer guarantees for whatever commit order actually happened *)
+let serial_apply g actors =
+  List.fold_left
+    (fun g a ->
+      let stmts = match a with Gen.Auto q -> [ q ] | Gen.Tx qs -> qs in
+      List.fold_left
+        (fun g q ->
+          match Api.run_query ~config:concurrent_config g q with
+          | Ok o -> o.Api.graph
+          | Error _ -> g)
+        g stmts)
+    g actors
+
+(** Oracle 10.  Runs the generated actors against one shared server
+    state, each on its own thread through its own {!Service}
+    connection, then checks (a) {e linearizability}: the final head is
+    isomorphic to running the actors under {e some} serial order; and
+    (b) {e durability}: replaying the WAL the group committer wrote —
+    whose per-record counter checksums are validated by replay itself —
+    reproduces the final head.  Thread interleaving makes runs
+    nondeterministic, so failures are reported unshrunk. *)
+let concurrent (g : Graph.t) (actors : Gen.actor list) : (unit, string) result
+    =
+  let wal_buf = Buffer.create 256 in
+  let sink entries =
+    List.iter
+      (fun e -> Buffer.add_string wal_buf (Wal.encode (Wal.record_of_entry e)))
+      entries
+  in
+  let shared = Shared.create ~sink g in
+  let run_actor a () =
+    let svc = Service.create ~config:concurrent_config shared in
+    let send line = ignore (Service.handle svc line : string list) in
+    match a with
+    | Gen.Auto q -> send (Pretty.query_to_string q)
+    | Gen.Tx qs ->
+        send ":begin";
+        List.iter (fun q -> send (Pretty.query_to_string q)) qs;
+        send ":commit"
+  in
+  let threads = List.map (fun a -> Thread.create (run_actor a) ()) actors in
+  List.iter Thread.join threads;
+  let _, final = Shared.current shared in
+  let* () =
+    check
+      (List.exists
+         (fun perm -> Iso.isomorphic final (serial_apply g perm))
+         (permutations actors))
+      (fun () ->
+        Fmt.str "final graph matches none of the %d serial orders of %d actors"
+          (List.length (permutations actors))
+          (List.length actors))
+  in
+  let wal = Buffer.contents wal_buf in
+  let records, clean_len, torn = Wal.scan_string wal in
+  let* () =
+    check
+      (torn = None && clean_len = String.length wal)
+      (fun () -> "committer-written journal does not scan cleanly")
+  in
+  match Recovery.replay g records with
+  | Error e -> Error ("replay of the committer's journal failed: " ^ e)
+  | Ok g' ->
+      check (Iso.isomorphic g' final) (fun () ->
+          "journal replay is not isomorphic to the final head")

@@ -177,11 +177,17 @@ end
    graph's node and relationship maps are PHYSICALLY the entry's —
    every update allocates fresh records into fresh maps, so validity
    survives metadata-only rewrites ([with_backend], [add_prop_index] on
-   a registered index) and is broken by every real mutation.  Stores
-   are single word writes of immutable entries, so concurrent readers
-   either see a valid entry or fall back to the persistent maps. *)
+   a registered index) and is broken by every real mutation.
+
+   The cell is an [Atomic.t]: the server shares one graph value across
+   many domains (reader snapshots, the pool fan-out), and a plain
+   mutable field would let two domains racing through [ensure_csr]
+   publish torn or duplicate builds with no happens-before edge for a
+   third domain's read.  Entries are immutable once built, so a
+   publish is a single atomic store; readers either see a valid entry
+   or fall back to the persistent maps. *)
 type csr_entry = { ce_nodes : node Imap.t; ce_rels : rel Imap.t; ce_csr : Csr.t }
-type csr_cache = { mutable ce : csr_entry option }
+type csr_cache = csr_entry option Atomic.t
 
 type t = {
   nodes : node Imap.t;
@@ -220,7 +226,7 @@ let empty =
     next_id = 0;
     tombs = Imap.empty;
     backend = `Persistent;
-    ccache = { ce = None };
+    ccache = Atomic.make None;
   }
 
 (* --- label index maintenance -------------------------------------- *)
@@ -326,7 +332,7 @@ let pindex_node_remove n pidx = pindex_fold_node vmap_remove n pidx
 (* ------------------------------------------------------------------ *)
 
 let node g id =
-  match g.ccache.ce with
+  match Atomic.get g.ccache with
   | Some e when g.backend = `Compact && e.ce_nodes == g.nodes ->
       let c = e.ce_csr in
       let i = Csr.node_idx c id in
@@ -334,7 +340,7 @@ let node g id =
   | _ -> Imap.find_opt id g.nodes
 
 let rel g id =
-  match g.ccache.ce with
+  match Atomic.get g.ccache with
   | Some e when g.backend = `Compact && e.ce_rels == g.rels ->
       let c = e.ce_csr in
       let j = Csr.rel_idx c id in
@@ -508,7 +514,7 @@ let build_csr (g : t) : Csr.t =
     back to the persistent maps, so a forgotten [ensure_csr] costs
     speed, never correctness. *)
 let csr_view g =
-  match (g.backend, g.ccache.ce) with
+  match (g.backend, Atomic.get g.ccache) with
   | `Compact, Some e when e.ce_nodes == g.nodes && e.ce_rels == g.rels ->
       Some e.ce_csr
   | _ -> None
@@ -521,22 +527,40 @@ let csr_view g =
    Surfaced as a PROFILE line by the engine: the first read after a
    bulk load can spend seconds here (23 s at n=10⁶), and without this
    counter that cost hides inside whichever clause triggered the
-   rebuild.  Builds happen at read-phase boundaries before any pool
-   fan-out, so the plain ref is not contended. *)
-let csr_build_ns = ref 0L
+   rebuild.  An [Atomic] because the server lets several domains reach
+   a read-phase boundary on the same fresh graph at once. *)
+let csr_build_ns = Atomic.make 0L
 
-let csr_build_ns_total () = !csr_build_ns
+let csr_build_ns_total () = Atomic.get csr_build_ns
+
+let rec atomic_add_i64 cell ns =
+  let old = Atomic.get cell in
+  if not (Atomic.compare_and_set cell old (Int64.add old ns)) then
+    atomic_add_i64 cell ns
 
 let ensure_csr g =
   match g.backend with
   | `Persistent -> ()
   | `Compact -> (
+      (* double-checked publish: re-read the cell, build only when no
+         valid entry is installed, and CAS our (immutable) entry over
+         the value we observed.  Two domains racing on the same graph
+         may both build — the build is deterministic, so whichever
+         entry lands is correct — but a reader can never observe a
+         torn entry, and a loser whose CAS failed against a *valid*
+         entry for this graph simply adopts the winner's.  Domains
+         racing on *different* graphs overwrite each other (the cache
+         holds one entry); losers fall back to the persistent maps,
+         which costs speed, never correctness. *)
       match csr_view g with
       | Some _ -> ()
       | None ->
+          let observed = Atomic.get g.ccache in
           let c, ns = Cypher_util.Mclock.span_ns (fun () -> build_csr g) in
-          csr_build_ns := Int64.add !csr_build_ns ns;
-          g.ccache.ce <- Some { ce_nodes = g.nodes; ce_rels = g.rels; ce_csr = c })
+          atomic_add_i64 csr_build_ns ns;
+          let entry = Some { ce_nodes = g.nodes; ce_rels = g.rels; ce_csr = c } in
+          if not (Atomic.compare_and_set g.ccache observed entry) then
+            if csr_view g = None then Atomic.set g.ccache entry)
 
 (** Relationships leaving node [id], in id order. *)
 let out_rels g id =

@@ -140,40 +140,61 @@ let isomorphic g1 g2 =
             Hashtbl.replace classes c
               (n :: Option.value ~default:[] (Hashtbl.find_opt classes c)))
           nodes2;
+        (* sizes are consulted O(n^2) times by the ordering pass below,
+           so walking the class list each time turns large symmetric
+           classes (thousands of identical created nodes) into minutes *)
+        let class_sizes = Hashtbl.create 64 in
+        Hashtbl.iter
+          (fun c members -> Hashtbl.replace class_sizes c (List.length members))
+          classes;
         let class_size c =
-          List.length (Option.value ~default:[] (Hashtbl.find_opt classes c))
+          Option.value ~default:0 (Hashtbl.find_opt class_sizes c)
         in
         (* Assignment order: prefer nodes connected to already ordered
            ones (early edge pruning), tie-broken by smallest candidate
-           class (most constrained first). *)
+           class (most constrained first).  Selection is kept
+           incremental — a placement only rescores the placed node's
+           neighbours — because an argmax scan over all remaining nodes
+           per placement is O(n^2) and dominates whole-run time on the
+           fuzzer's multi-thousand-node result graphs. *)
         let order nodes =
-          let remaining = ref nodes in
-          let placed = Hashtbl.create 64 in
+          let module Q = Set.Make (struct
+            (* (-anchored, class size, node id): Set.min_elt is the
+               most-anchored, then most-constrained, then lowest-id *)
+            type t = int * int * int
+
+            let compare = compare
+          end) in
+          let by_id = Hashtbl.create 64 in
+          List.iter
+            (fun (n : Graph.node) -> Hashtbl.replace by_id n.n_id n)
+            nodes;
+          let anchored = Hashtbl.create 64 in
+          let anchors n_id =
+            Option.value ~default:0 (Hashtbl.find_opt anchored n_id)
+          in
+          let key (n : Graph.node) =
+            (-anchors n.n_id, class_size (Hashtbl.find colour1 n.n_id), n.n_id)
+          in
+          let queue =
+            ref (List.fold_left (fun q n -> Q.add (key n) q) Q.empty nodes)
+          in
           let out = ref [] in
-          while !remaining <> [] do
-            let score (n : Graph.node) =
-              let anchored =
-                List.length
-                  (List.filter
-                     (fun (_, _, _, o) -> Hashtbl.mem placed o)
-                     (inc1 n.n_id))
-              in
-              (* maximise anchored, then minimise class size *)
-              (-anchored, class_size (Hashtbl.find colour1 n.n_id))
-            in
-            let best =
-              List.fold_left
-                (fun acc n ->
-                  match acc with
-                  | None -> Some n
-                  | Some m -> if score n < score m then Some n else acc)
-                None !remaining
-            in
-            let best = Option.get best in
-            Hashtbl.replace placed best.Graph.n_id ();
+          while not (Q.is_empty !queue) do
+            let ((_, _, id) as k) = Q.min_elt !queue in
+            queue := Q.remove k !queue;
+            let best = Hashtbl.find by_id id in
+            Hashtbl.remove by_id id;
             out := best :: !out;
-            remaining :=
-              List.filter (fun (n : Graph.node) -> n != best) !remaining
+            List.iter
+              (fun (_, _, _, o) ->
+                match Hashtbl.find_opt by_id o with
+                | None -> () (* already placed *)
+                | Some nbr ->
+                    queue := Q.remove (key nbr) !queue;
+                    Hashtbl.replace anchored o (1 + anchors o);
+                    queue := Q.add (key nbr) !queue)
+              (inc1 id)
           done;
           List.rev !out
         in

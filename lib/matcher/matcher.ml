@@ -1113,7 +1113,10 @@ let match_patterns_rev ?(mode = Iso) ?(planner = false) ?plans (ctx : Ctx.t)
   let emit_last row acc = row :: acc in
   let rec go st i rest acc =
     match rest with
-    | [] -> assert false
+    | [] ->
+        (* unreachable while the [patterns = []] guard above holds; a
+           structured error keeps a server process alive if it breaks *)
+        Ctx.internal "match_patterns_rev: empty pattern list reached the fold"
     | [ p ] -> (
         match plan_with (List.nth_opt hints i) st p with
         | Some plan ->
@@ -1254,7 +1257,11 @@ let shortest_paths (ctx : Ctx.t) ~all (p : pattern) : Value.t =
       let lo, hi =
         match rp.rp_range with
         | Some (lo, hi) -> (Option.value ~default:1 lo, hi)
-        | None -> assert false
+        | None ->
+            (* the caller dispatches here only under [rp_range <> None];
+               fail structurally rather than aborting the process *)
+            Ctx.internal
+              "shortestPath: relationship pattern lost its length range"
       in
       (* BFS storing per-node predecessor lists so that all shortest
          walks can be reconstructed.  On the compact backend the whole

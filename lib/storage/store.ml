@@ -57,6 +57,18 @@ let sink t entries =
                (Session.set_journal session None) to continue in memory"
               t.dir))
 
+(** [append_entries t entries] journals [entries] as one WAL frame
+    batch: a single [write] + (under [Fsync]) a single fsync, whatever
+    the batch size.  This is the group committer's durability call —
+    the server batches the entries of several concurrently committing
+    transactions into one call here.  Raises a structured error when
+    the store is closed, like the session sink. *)
+let append_entries t (entries : Session.journal_entry list) : unit =
+  if entries <> [] then sink t entries
+
+(** Writer counters ([None] once the store is closed). *)
+let wal_stats t = Option.map Wal.writer_stats t.writer
+
 (** [open_db ?config dir] opens (creating if needed) the database at
     [dir], recovers its graph, and returns the store paired with a
     session wired for write-ahead journaling.  [config] (default

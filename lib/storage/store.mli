@@ -21,6 +21,17 @@ val recovery : t -> Recovery.t
 
 val dir : t -> string
 
+(** [append_entries t entries] journals [entries] as one WAL frame
+    batch — a single [write] + (under [Fsync]) a single fsync, whatever
+    the batch size.  The server's group committer batches the entries
+    of several concurrently committing transactions into one call.
+    No-op on [[]]; raises [Errors.Error] when the store is closed. *)
+val append_entries : t -> Session.journal_entry list -> unit
+
+(** Journal writer counters ([None] once the store is closed):
+    [records / fsyncs] is the achieved group-commit amortization. *)
+val wal_stats : t -> Wal.writer_stats option
+
 (** [compact t session] folds the journal into a fresh snapshot of the
     session's current graph and empties the journal.  Refused inside a
     transaction. *)

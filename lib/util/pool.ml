@@ -164,6 +164,57 @@ let run_ordered ?chunk_min ~parallelism (per_chunk : 'a list -> 'b list)
       end
     end
 
+(* ------------------------------------------------------------------ *)
+(* Single-job submission (the server's read executor)                 *)
+(* ------------------------------------------------------------------ *)
+
+type 'a task_state =
+  | T_pending
+  | T_done of 'a
+  | T_failed of exn * Printexc.raw_backtrace
+
+type 'a task = { mutable state : 'a task_state; signal : Condition.t }
+
+(** [submit ~parallelism f] runs [f ()] on a pool worker and returns a
+    task to {!await}.  The serial fast path ([parallelism <= 1], or a
+    call from inside a worker — a worker blocking on another worker's
+    job could deadlock the queue) runs [f] inline before returning, so
+    [await] never blocks in that case. *)
+let submit ~parallelism (f : unit -> 'a) : 'a task =
+  let t = { state = T_pending; signal = Condition.create () } in
+  let run () =
+    let r =
+      try T_done (f ()) with e -> T_failed (e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock lock;
+    t.state <- r;
+    Condition.broadcast t.signal;
+    Mutex.unlock lock
+  in
+  if parallelism <= 1 || Domain.DLS.get in_worker then run ()
+  else begin
+    ensure_workers (parallelism - 1);
+    Mutex.lock lock;
+    Queue.add run jobs;
+    Condition.broadcast work_available;
+    Mutex.unlock lock
+  end;
+  t
+
+(** [await t] blocks until [t]'s job has finished, then returns its
+    result (re-raising its exception with the original backtrace). *)
+let await (t : 'a task) : 'a =
+  Mutex.lock lock;
+  while (match t.state with T_pending -> true | _ -> false) do
+    Condition.wait t.signal lock
+  done;
+  let s = t.state in
+  Mutex.unlock lock;
+  match s with
+  | T_done v -> v
+  | T_failed (e, bt) -> Printexc.raise_with_backtrace e bt
+  | T_pending -> assert false
+
 let map_chunks ?chunk_min ~parallelism f xs =
   run_ordered ?chunk_min ~parallelism (List.map f) xs
 

@@ -55,3 +55,18 @@ val concat_map_chunks :
     same chunking and gather discipline as {!map_chunks}. *)
 val filter_chunks :
   ?chunk_min:int -> parallelism:int -> ('a -> bool) -> 'a list -> 'a list
+
+(** A single job submitted to the pool — the concurrent server uses
+    this to run read statements on worker domains while connection
+    threads block on sockets. *)
+type 'a task
+
+(** [submit ~parallelism f] schedules [f ()] on a pool worker.  Runs
+    [f] inline (before returning) when [parallelism <= 1] or when
+    called from a worker — a worker blocking on another worker's job
+    could deadlock the queue. *)
+val submit : parallelism:int -> (unit -> 'a) -> 'a task
+
+(** [await t] blocks until the job finishes; returns its value or
+    re-raises its exception with the original backtrace. *)
+val await : 'a task -> 'a

@@ -252,4 +252,66 @@ let fusion_tests =
           fusion_configs)
   ]
 
-let suite = symtab_tests @ lifecycle_tests @ equivalence_tests @ fusion_tests
+(* ------------------------------------------------------------------ *)
+(* Multi-domain CSR publication                                       *)
+(* ------------------------------------------------------------------ *)
+
+let stress_tests =
+  [
+    Test_util.case "concurrent ensure_csr publishes one valid snapshot"
+      (fun () ->
+        (* the server hands one graph value to many domains at once; the
+           cache cell is an [Atomic.t] so racing builders can never
+           publish a torn entry.  Hammer [ensure_csr] + a CSR-served
+           read from several domains against fresh graphs and check
+           every domain computes the same row count. *)
+        let config = Config.with_backend `Compact Config.revised in
+        let build n =
+          let src =
+            Printf.sprintf
+              "UNWIND range(1, %d) AS i CREATE (:S {k: i})-[:T]->(:D {k: i})"
+              n
+          in
+          match Api.run_string ~config Graph.empty src with
+          | Ok o -> o.Api.graph
+          | Error e -> Alcotest.fail (Cypher_core.Errors.to_string e)
+        in
+        for round = 1 to 10 do
+          let g = build (20 + round) in
+          let expected = 20 + round in
+          let domains =
+            List.init 4 (fun _ ->
+                Domain.spawn (fun () ->
+                    Graph.ensure_csr g;
+                    match
+                      Api.run_string ~config g
+                        "MATCH (:S)-[:T]->(d:D) RETURN count(d) AS c"
+                    with
+                    | Ok o -> Cypher_table.Table.to_string o.Api.table
+                    | Error e -> Cypher_core.Errors.to_string e))
+          in
+          let results = List.map Domain.join domains in
+          (match results with
+          | first :: rest ->
+              List.iteri
+                (fun i r ->
+                    Alcotest.(check string)
+                      (Printf.sprintf "round %d domain %d agrees" round i)
+                      first r)
+                rest;
+              Alcotest.(check bool)
+                (Printf.sprintf "round %d count present" round)
+                true
+                (Test_util.contains_substring first (string_of_int expected))
+          | [] -> Alcotest.fail "no domains ran");
+          (* the published snapshot must serve exactly this content *)
+          Alcotest.(check bool)
+            (Printf.sprintf "round %d snapshot valid" round)
+            true
+            (Graph.csr_view g <> None)
+        done)
+  ]
+
+let suite =
+  symtab_tests @ lifecycle_tests @ equivalence_tests @ fusion_tests
+  @ stress_tests

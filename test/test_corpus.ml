@@ -46,7 +46,7 @@ let roundtrip_cases =
 
 let smoke_cases =
   [
-    case "fuzz smoke: 60 cases x 9 oracles" (fun () ->
+    case "fuzz smoke: 60 cases x 10 oracles" (fun () ->
         let report = Fuzz.run ~seed:20260807 ~count:60 () in
         match report.Fuzz.failures with
         | [] -> ()

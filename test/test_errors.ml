@@ -82,4 +82,21 @@ let suite =
     case "aggregates in WHERE are rejected with a clear message" (fun () ->
         check_msg "agg in where" "RETURN/WITH"
           (run_err (graph_of "CREATE (:P)") "MATCH (p:P) WHERE count(*) > 0 RETURN p"));
+    case "Internal_error renders and is a value, not a crash" (fun () ->
+        (* broken engine invariants (former [assert false] sites in the
+           matcher) now surface through this constructor so a server
+           connection can report them and live on *)
+        check_msg "internal" "internal error: invariant broke"
+          (Errors.Internal_error "invariant broke");
+        match Errors.internal_error "case %d" 7 with
+        | exception Errors.Error (Errors.Internal_error m) ->
+            Alcotest.(check string) "formatted payload" "case 7" m
+        | _ -> Alcotest.fail "internal_error did not raise Internal_error");
+    case "Ctx.Internal carries the formatted invariant message" (fun () ->
+        (* the matcher raises through [Ctx.internal]; the API layer maps
+           the exception to [Errors.Internal_error] *)
+        match Cypher_eval.Ctx.internal "lost %s" "range" with
+        | exception Cypher_eval.Ctx.Internal m ->
+            Alcotest.(check string) "message" "lost range" m
+        | _ -> Alcotest.fail "Ctx.internal did not raise");
   ]

@@ -115,4 +115,16 @@ let suite =
         check_rows "directed" 1 (run_table g "MATCH (a)-[:T]->(a) RETURN a");
         check_rows "undirected self-loop matches once" 1
           (run_table g "MATCH (a)-[:T]-(b) RETURN a"));
+    case "multi-pattern fold covers one, two and three patterns" (fun () ->
+        (* regression for the match_patterns_rev fold whose empty-list
+           arm is now a structured internal error: the guarded public
+           shapes (1..3 comma patterns, shared and disjoint variables)
+           must keep producing exact cross-product row counts *)
+        check_rows "one" 3 (run_table chain "MATCH (n) RETURN n");
+        check_rows "two disjoint" 9
+          (run_table chain "MATCH (n), (m) RETURN n, m");
+        check_rows "three disjoint" 27
+          (run_table chain "MATCH (n), (m), (o) RETURN n");
+        check_rows "three with shared variables" 2
+          (run_table chain "MATCH (a)-[:T]->(b), (b), (a) RETURN a, b"));
   ]

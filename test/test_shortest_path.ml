@@ -98,4 +98,23 @@ let suite =
         with
         | Errors.Eval_error _ -> ()
         | e -> Alcotest.failf "wrong error: %s" (Errors.to_string e));
+    case "explicit and open length ranges keep the range guard" (fun () ->
+        (* regression for the dispatch invariant behind the matcher's
+           former [assert false]: every range spelling that reaches the
+           BFS carries its bounds *)
+        let len range expected =
+          let t =
+            run_table g
+              (Printf.sprintf
+                 "MATCH (a:N {name: 'a'}), (c:N {name: 'c'})\n\
+                  RETURN length(shortestPath((a)-[:T%s]->(c))) AS l"
+                 range)
+          in
+          check_value (range ^ " hops") expected (first_cell t)
+        in
+        len "*" (vint 2);
+        len "*1.." (vint 2);
+        len "*..5" (vint 2);
+        (* the shortest route has 2 hops; a [3,3] window excludes it *)
+        len "*3..3" vnull);
   ]

@@ -277,6 +277,26 @@ let session_journal_tests =
         Alcotest.(check int) "rolled back" 0
           (Graph.node_count (Session.graph s));
         Alcotest.(check bool) "tx closed" false (Session.in_transaction s));
+    case "a failing sink rolls back a nested transaction stack" (fun () ->
+        (* entries buffered at depth 2 fold into depth 1 at the inner
+           commit; only the outermost commit touches the sink, and its
+           failure must unwind the whole stack to the pre-begin graph *)
+        let s = Session.create Graph.empty in
+        Session.set_journal s (Some (fun _ -> failwith "disk full"));
+        Session.begin_tx s;
+        ignore (run_ok s "CREATE (:Outer)");
+        Session.begin_tx s;
+        ignore (run_ok s "CREATE (:Inner)");
+        (match Session.commit s with
+        | Ok () -> () (* inner commit only folds entries outward *)
+        | Error m -> Alcotest.failf "inner commit touched the sink: %s" m);
+        Alcotest.(check bool) "still in tx" true (Session.in_transaction s);
+        (match Session.commit s with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "outer commit succeeded past a failing sink");
+        Alcotest.(check int) "both levels rolled back" 0
+          (Graph.node_count (Session.graph s));
+        Alcotest.(check bool) "tx closed" false (Session.in_transaction s));
   ]
 
 (* ------------------------------------------------------------------ *)

@@ -17,6 +17,12 @@ let graph_iso_testable : Graph.t Alcotest.testable =
 
 let case name f = Alcotest.test_case name `Quick f
 
+(** [contains_substring s sub] is true when [sub] occurs in [s]. *)
+let contains_substring s sub =
+  let n = String.length s and m = String.length sub in
+  let rec loop i = i + m <= n && (String.sub s i m = sub || loop (i + 1)) in
+  m = 0 || loop 0
+
 (** Runs a statement, failing the test on error. *)
 let run ?(config = Config.revised) graph src =
   match Api.run_string ~config graph src with
